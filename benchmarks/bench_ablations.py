@@ -1,0 +1,112 @@
+"""§7 ablation benchmarks: the paper's open design choices, quantified.
+
+Six independent sweeps (see repro.experiments.ablations): Fetch-and-Add
+batching, the outstanding-atomics window, local cache sizing, bounce vs
+recirculation, drop sensitivity with/without the reliability extension,
+and RDMA prioritization under congestion.
+"""
+
+from repro.experiments.ablations import (
+    format_batching,
+    format_cache,
+    format_drops,
+    format_mode,
+    format_window,
+    run_batching_ablation,
+    run_cache_ablation,
+    run_drop_ablation,
+    run_mode_ablation,
+    run_window_ablation,
+)
+
+
+def test_ablation_fa_batching(benchmark, paper_report):
+    results = benchmark.pedantic(
+        run_batching_ablation,
+        kwargs={"batch_sizes": (1, 2, 4, 8, 16, 32), "packets": 4000},
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_batching(results))
+    # More combining -> fewer operations and bytes; never a lost count.
+    assert results[-1].operations < results[0].operations / 2
+    assert results[-1].request_bytes < results[0].request_bytes / 2
+    for r in results:
+        assert r.counted_remotely + r.pending_locally == r.packets
+
+
+def test_ablation_outstanding_window(benchmark, paper_report):
+    results = benchmark.pedantic(
+        run_window_ablation,
+        kwargs={"windows": (1, 4, 16, 64), "packets": 3000},
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_window(results))
+    within = [r for r in results if r.window <= r.rnic_limit]
+    beyond = [r for r in results if r.window > r.rnic_limit]
+    assert all(r.accurate for r in within)
+    assert all(not r.accurate for r in beyond)
+
+
+def test_ablation_cache_size(benchmark, paper_report):
+    results = benchmark.pedantic(
+        run_cache_ablation,
+        kwargs={"cache_sizes": (0, 64, 256, 1024, 4096), "packets": 4000},
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_cache(results))
+    hit_rates = [r.hit_rate for r in results]
+    assert hit_rates == sorted(hit_rates)  # monotone in cache size
+    assert results[-1].median_latency_us < results[0].median_latency_us
+
+
+def test_ablation_bounce_vs_recirculate(benchmark, paper_report):
+    results = benchmark.pedantic(
+        run_mode_ablation, kwargs={"packets": 1500}, rounds=1, iterations=1
+    )
+    paper_report(format_mode(results))
+    bounce, recirc = results
+    assert recirc.remote_request_bytes < bounce.remote_request_bytes / 2
+    assert recirc.recirculation_passes >= recirc.packets
+    assert bounce.recirculation_passes == 0
+
+
+def test_ablation_drop_sensitivity(benchmark, paper_report):
+    results = benchmark.pedantic(
+        run_drop_ablation,
+        kwargs={
+            "loss_probabilities": (0.0, 0.001, 0.01, 0.05),
+            "packets": 3000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_drops(results))
+    best_effort = [r for r in results if not r.reliable]
+    reliable = [r for r in results if r.reliable]
+    # Best-effort error grows with loss; the reliability extension is exact.
+    errors = [r.count_error_rate for r in best_effort]
+    assert errors[0] == 0.0
+    assert errors[-1] > errors[1]
+    assert all(r.count_error_rate == 0.0 for r in reliable)
+
+
+def test_ablation_rdma_priority(benchmark, paper_report):
+    from repro.experiments.ablations import format_priority, run_priority_ablation
+
+    results = benchmark.pedantic(
+        run_priority_ablation,
+        kwargs={"lookups": 200, "background_packets": 3000},
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_priority(results))
+    unprotected, protected = results
+    # Priority + headroom makes the RDMA leg loss-free under congestion.
+    assert unprotected.resolution_rate < 0.8
+    assert unprotected.bounce_naks > 0
+    assert protected.resolution_rate == 1.0
+    assert protected.bounce_naks == 0
+    assert protected.delivered > unprotected.delivered

@@ -1,0 +1,33 @@
+"""Figure 3a benchmark: lookup-table primitive latency overhead.
+
+Regenerates both series of Fig. 3a (baseline L2 switch vs lookup-table
+primitive, packet sizes 64 B – 1 KB) and checks the paper's headline:
+the primitive "only adds 1-2 µs latency on average".
+"""
+
+import statistics
+
+from repro.experiments.fig3a import PACKET_SIZES, format_fig3a, run_fig3a
+
+
+def test_fig3a_lookup_latency(benchmark, paper_report):
+    rows = benchmark.pedantic(
+        run_fig3a,
+        kwargs={"packet_sizes": PACKET_SIZES, "probes": 30},
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_fig3a(rows))
+
+    deltas = [row.delta_us for row in rows]
+    benchmark.extra_info["mean_delta_us"] = statistics.fmean(deltas)
+    benchmark.extra_info["per_size_delta_us"] = {
+        row.packet_size: round(row.delta_us, 2) for row in rows
+    }
+
+    # Shape: the primitive always costs more than the baseline, and the
+    # average overhead sits in the paper's 1-2 us band (we allow a little
+    # head-room on the largest frames, which serialize three extra times).
+    assert all(row.delta_us > 0 for row in rows)
+    assert 1.0 <= statistics.fmean(deltas) <= 2.5
+    assert max(deltas) <= 3.0

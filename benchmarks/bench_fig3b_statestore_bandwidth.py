@@ -1,0 +1,33 @@
+"""Figure 3b benchmark: state-store primitive bandwidth overhead.
+
+Regenerates Fig. 3b: the Fetch-and-Add request stream consumes ~2.1 Gbps
+of switch↔RNIC bandwidth at every packet size (capped by the RNIC atomic
+rate), the remote counter is 100 % accurate, and end-to-end throughput is
+not degraded.
+"""
+
+import statistics
+
+from repro.experiments.fig3b import PACKET_SIZES, format_fig3b, run_fig3b
+
+
+def test_fig3b_statestore_bandwidth(benchmark, paper_report):
+    rows = benchmark.pedantic(
+        run_fig3b,
+        kwargs={"packet_sizes": PACKET_SIZES, "packets": 4000},
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_fig3b(rows))
+
+    request_rates = [row.fa_request_gbps for row in rows]
+    benchmark.extra_info["mean_fa_request_gbps"] = statistics.fmean(request_rates)
+    benchmark.extra_info["paper_fa_request_gbps"] = 2.1
+
+    # Paper shape: ~2.1 Gbps, flat across packet sizes, 100% accurate,
+    # no goodput loss.
+    assert all(1.6 <= rate <= 2.8 for rate in request_rates)
+    assert max(request_rates) - min(request_rates) < 0.6
+    assert all(row.counter_accurate for row in rows)
+    for row in rows:
+        assert row.goodput_gbps >= row.baseline_goodput_gbps * 0.99

@@ -1,0 +1,24 @@
+"""§4 benchmark: RoCE protocol overhead accounting.
+
+Byte-exact reproduction of the paper's overhead paragraph: RoCEv2 adds
+40 B of routing/transport headers (52 B for RoCEv1) plus 16 B (WRITE/READ)
+or 28 B (Fetch-and-Add) of operation-specific headers.
+"""
+
+from repro.experiments.overhead import format_overhead, run_overhead
+
+
+def test_header_overhead(benchmark, paper_report):
+    rows = benchmark.pedantic(run_overhead, rounds=1, iterations=1)
+    paper_report(format_overhead(rows))
+    by_name = {r.operation: r for r in rows}
+
+    benchmark.extra_info["write_total"] = by_name["RDMA WRITE"].measured_total
+    benchmark.extra_info["fa_total"] = by_name["Fetch-and-Add"].measured_total
+
+    assert all(row.matches_paper for row in rows)
+    assert by_name["RDMA WRITE"].measured_total == 56
+    assert by_name["RDMA READ"].measured_total == 56
+    assert by_name["Fetch-and-Add"].measured_total == 68
+    assert by_name["RDMA WRITE"].rocev1_total == 68
+    assert by_name["Fetch-and-Add"].rocev1_total == 80

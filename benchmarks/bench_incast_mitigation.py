@@ -1,0 +1,46 @@
+"""§2.1 / Fig. 1a benchmark: last-hop incast at paper scale.
+
+The paper's exact scenario: 8 uplinks × 40 Gbps, 50 MB aggregate burst,
+12 MB switch buffer.  Drop-tail loses most of the burst; the remote packet
+buffer (striped over 8 memory servers, §2.1's "one or multiple servers")
+absorbs it losslessly; PFC is lossless too but head-of-line blocks a
+victim flow.
+"""
+
+from repro.experiments.incast import format_incast, run_incast_comparison
+from repro.sim.units import to_msec
+
+
+def test_incast_mitigation(benchmark, paper_report):
+    results = benchmark.pedantic(
+        run_incast_comparison,
+        kwargs={"scale": 1.0, "n_memory_servers": 8},
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_incast(results))
+    by_variant = {r.variant: r for r in results}
+    droptail = by_variant["droptail"]
+    remote = by_variant["remote_buffer"]
+    pfc = by_variant["pfc"]
+
+    benchmark.extra_info["droptail_loss_pct"] = round(droptail.loss_rate * 100, 1)
+    benchmark.extra_info["remote_buffer_loss_pct"] = round(remote.loss_rate * 100, 1)
+    benchmark.extra_info["pfc_victim_slowdown"] = (
+        round(pfc.victim_completion_ms / remote.victim_completion_ms, 1)
+        if remote.victim_completion_ms
+        else None
+    )
+
+    # §2.1's arithmetic: the receiver can only take 40 Gbps, so drop-tail
+    # loses roughly (burst - buffer - egress_during_burst) of 50 MB.
+    assert droptail.loss_rate > 0.5
+    # The remote buffer makes the last hop lossless without reordering.
+    assert remote.lossless
+    assert remote.out_of_order == 0
+    assert remote.switch_drops == 0
+    # Receiving 50 MB takes at least 10 ms at 40 Gbps.
+    assert remote.completion_ms >= 10.0
+    # PFC is lossless but stalls the victim; the remote buffer does not.
+    assert pfc.lossless
+    assert pfc.victim_completion_ms > 2 * remote.victim_completion_ms

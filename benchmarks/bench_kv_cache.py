@@ -1,0 +1,41 @@
+"""§2.2/§6 benchmark: in-network KV cache with a remote-memory miss path.
+
+NetCache-class comparison over Zipf queries against 10k keys:
+server-only vs SRAM cache vs SRAM + remote value store.  The paper's
+promise is that the remote path removes the storage server's CPU from the
+read path entirely.
+"""
+
+from repro.experiments.kv_cache import format_kv_cache, run_kv_cache_comparison
+
+
+def test_kv_cache_modes(benchmark, paper_report):
+    results = benchmark.pedantic(
+        run_kv_cache_comparison,
+        kwargs={"keys": 10_000, "sram_entries": 64, "queries": 5_000},
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_kv_cache(results))
+    by_mode = {r.mode: r for r in results}
+    server = by_mode["server"]
+    sram = by_mode["sram"]
+    remote = by_mode["sram+remote"]
+
+    benchmark.extra_info["server_bypass"] = {
+        mode: round(r.server_bypass_rate, 3) for mode, r in by_mode.items()
+    }
+    benchmark.extra_info["p99_us"] = {
+        mode: round(r.p99_latency_us, 2) for mode, r in by_mode.items()
+    }
+
+    # Everyone answers every query (correctness).
+    for r in results:
+        assert r.reply_rate == 1.0
+    # SRAM helps; remote memory nearly eliminates the server.
+    assert server.server_bypass_rate == 0.0
+    assert sram.server_bypass_rate > 0.3
+    assert remote.server_bypass_rate > 0.95
+    # The CPU's 30 us dominates the baseline's median; the remote design
+    # answers misses in ~2 us from the data plane.
+    assert remote.median_latency_us < server.median_latency_us / 5

@@ -1,0 +1,101 @@
+"""Microbenchmarks of the substrate itself (simulator, codecs, RNIC).
+
+Unlike the paper-figure benchmarks (one long simulation timed once), these
+use pytest-benchmark's repeated timing to track the hot paths a simulation
+study lives or dies by: event dispatch, header serialization, hash
+externs, and a full RDMA round trip.
+"""
+
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.headers import EthernetHeader, Ipv4Header, UdpHeader
+from repro.net.packet import Packet
+from repro.rdma.headers import BthHeader, IcrcTrailer, RethHeader, parse_roce
+from repro.rdma.constants import Opcode
+from repro.sim.simulator import Simulator
+from repro.switches.hashing import FiveTuple, crc16, hash_fields
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_10k_events)
+    assert events == 10_000
+
+
+def _sample_packet():
+    return Packet(
+        headers=[
+            EthernetHeader(dst=MacAddress(2), src=MacAddress(1)),
+            Ipv4Header(src=Ipv4Address("10.0.0.1"), dst=Ipv4Address("10.0.0.2")),
+            UdpHeader(src_port=1000, dst_port=4791),
+            BthHeader(opcode=Opcode.RDMA_WRITE_ONLY, dest_qp=0x11, psn=7),
+            RethHeader(virtual_address=0x1000, rkey=0x42, dma_length=1024),
+        ],
+        payload=b"z" * 1024,
+        trailers=[IcrcTrailer()],
+    )
+
+
+def test_packet_pack_throughput(benchmark):
+    packet = _sample_packet()
+    raw = benchmark(packet.pack)
+    assert len(raw) == 14 + 20 + 8 + 12 + 16 + 1024 + 4
+
+
+def test_roce_parse_throughput(benchmark):
+    packet = _sample_packet()
+    raw = packet.pack()[42:]  # BTH onward
+    headers, payload, icrc = benchmark(parse_roce, raw)
+    assert len(payload) == 1024
+
+
+def test_crc16_throughput(benchmark):
+    data = b"abcdefgh" * 16
+    value = benchmark(crc16, data)
+    assert 0 <= value <= 0xFFFF
+
+
+def test_five_tuple_hash_throughput(benchmark):
+    ft = FiveTuple(0x0A000001, 0x0A000002, 17, 1000, 2000)
+    value = benchmark(ft.hash)
+    assert value == ft.hash()
+
+
+def test_hash_fields_throughput(benchmark):
+    fields = [0x0A000001, 0x0A000002, 17, 1000, 2000]
+    benchmark(hash_fields, fields)
+
+
+def test_rdma_write_round_trip(benchmark):
+    """Full simulated RDMA WRITE through switch + RNIC, per operation."""
+    from repro.apps.programs import StaticL2Program
+    from repro.core.rocegen import RoceRequestGenerator
+    from repro.experiments.topology import build_testbed
+
+    def one_write():
+        tb = build_testbed(n_hosts=1)
+        program = StaticL2Program()
+        program.install(tb.hosts[0].eth.mac, tb.host_ports[0])
+        program.install(tb.memory_server.eth.mac, tb.server_port)
+        tb.switch.bind_program(program)
+        channel = tb.controller.open_channel(
+            tb.memory_server, tb.server_port, 4096
+        )
+        gen = RoceRequestGenerator(tb.switch, channel)
+        gen.write(channel.base_address, b"x" * 64)
+        tb.sim.run()
+        return channel.region.writes
+
+    writes = benchmark(one_write)
+    assert writes == 1

@@ -1,0 +1,48 @@
+"""§2.1 benchmark: persistent congestion — remote buffer alone vs with ECN.
+
+The paper's burst/persistence split: the remote packet buffer absorbs
+bursts, but persistent overload must be handled by "end-to-end congestion
+control based on ECN".  Two line-rate senders overload one port forever;
+without ECN the remote ring fills and drops, with the co-designed
+ring-occupancy CE marking the DCTCP-style senders converge and the system
+is loss-free.
+"""
+
+from repro.experiments.persistent_congestion import (
+    format_persistent_congestion,
+    run_persistent_congestion_comparison,
+)
+
+
+def test_persistent_congestion(benchmark, paper_report):
+    results = benchmark.pedantic(
+        run_persistent_congestion_comparison,
+        kwargs={"duration_ms": 6.0},
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_persistent_congestion(results))
+    buffer_only, with_ecn = results
+
+    benchmark.extra_info["buffer_only_loss_pct"] = round(
+        buffer_only.loss_rate * 100, 1
+    )
+    benchmark.extra_info["with_ecn_loss_pct"] = round(with_ecn.loss_rate * 100, 1)
+    benchmark.extra_info["with_ecn_final_gbps"] = round(
+        with_ecn.aggregate_final_rate_gbps, 1
+    )
+
+    # Remote memory alone only delays the loss under persistent overload.
+    assert buffer_only.ring_full_drops > 0
+    assert buffer_only.loss_rate > 0.15
+    assert buffer_only.peak_ring_entries >= 9000
+    # The ECN co-design makes it loss-free with a bounded ring.
+    assert with_ecn.loss_rate == 0.0
+    assert with_ecn.ring_full_drops == 0
+    assert with_ecn.peak_ring_entries < buffer_only.peak_ring_entries / 4
+    # Senders converged toward the 40 Gbps bottleneck's fair share —
+    # and fairly (Jain's index near 1).
+    from repro.analysis.stats import jain_fairness
+
+    assert 20.0 <= with_ecn.aggregate_final_rate_gbps <= 45.0
+    assert jain_fairness(with_ecn.final_rates_gbps) > 0.9

@@ -1,0 +1,38 @@
+"""§2.3 / Fig. 1c benchmark: telemetry state-store scaling.
+
+An SRAM-budget sketch vs the same algorithm over remote DRAM counters
+(the paper argues the number of counters can grow ~10^3x).  Measured on a
+Zipf packet stream: estimation error, heavy-hitter detection quality, and
+zero server-CPU involvement.
+"""
+
+from repro.experiments.telemetry import format_telemetry, run_telemetry
+
+
+def test_telemetry_scaling(benchmark, paper_report):
+    results = benchmark.pedantic(
+        run_telemetry,
+        kwargs={
+            "flows": 20_000,
+            "packets": 20_000,
+            "remote_counters": 1 << 20,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_telemetry(results))
+    local, remote = results
+
+    benchmark.extra_info["counter_scaling"] = (
+        remote.sketch_counters // local.sketch_counters
+    )
+    benchmark.extra_info["local_mre"] = round(local.mean_relative_error, 3)
+    benchmark.extra_info["remote_mre"] = round(remote.mean_relative_error, 3)
+
+    # Paper shape: orders-of-magnitude more counters, far lower error,
+    # better heavy-hitter detection, no CPU involvement.
+    assert remote.sketch_counters >= 100 * local.sketch_counters
+    assert remote.mean_relative_error < local.mean_relative_error / 5
+    assert remote.hh_f1 >= local.hh_f1
+    assert remote.hh_f1 > 0.9
+    assert remote.server_cpu_packets == 0

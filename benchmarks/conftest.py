@@ -1,0 +1,33 @@
+"""Benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates one of the paper's tables or figures; the
+``paper_report`` fixture collects the formatted tables and prints them at
+the end of the session, so ``pytest benchmarks/ --benchmark-only`` yields
+both timing data and the reproduced results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_reports = []
+
+
+@pytest.fixture
+def paper_report():
+    """Call with a formatted table string to register it for the summary."""
+
+    def add(report: str) -> None:
+        _reports.append(report)
+
+    return add
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _reports:
+        print("\n\n" + "=" * 72)
+        print("REPRODUCED PAPER RESULTS")
+        print("=" * 72)
+        for report in _reports:
+            print()
+            print(report)

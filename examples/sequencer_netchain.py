@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Example: an in-network sequencer whose counter lives off-switch (§6).
+
+NetChain-class systems use a switch to assign totally-ordered sequence
+numbers.  With the paper's primitives the counter moves into server DRAM:
+the switch stamps each packet with the pre-add value returned by an RDMA
+Fetch-and-Add, so the sequence survives a switch replacement and can be
+shared by multiple switches — at the cost of the RNIC's atomic rate.
+
+This example sequences a two-sender packet stream, prints the achieved
+rate sweep, and verifies the gap-free / total-order / zero-CPU properties.
+
+Run:  python examples/sequencer_netchain.py
+"""
+
+from repro.experiments.sequencer import (
+    format_sequencer,
+    run_sequencer_throughput,
+)
+
+
+def main() -> None:
+    print("Sweeping offered load through the remote-memory sequencer...\n")
+    results = run_sequencer_throughput(packets=2000)
+    print(format_sequencer(results))
+    print()
+    saturation = max(r.achieved_mops for r in results)
+    assert all(r.gap_free and r.arrival_ordered for r in results)
+    assert all(r.server_cpu_packets == 0 for r in results)
+    print(
+        f"Every point produced gap-free, arrival-ordered numbers with zero "
+        f"server CPU; throughput saturates at {saturation:.2f} Mops — the "
+        "RNIC atomic engine, the same cap that shapes Fig. 3b."
+    )
+
+
+if __name__ == "__main__":
+    main()

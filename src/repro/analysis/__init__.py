@@ -1,0 +1,23 @@
+"""Measurement: recorders, monitors, statistics, reporting."""
+
+from .monitors import (
+    DepthSample,
+    LatencyRecorder,
+    LinkBandwidthMonitor,
+    QueueDepthSampler,
+)
+from .reporting import format_gbps, format_table, format_usec
+from .stats import Summary, jain_fairness, percentile
+
+__all__ = [
+    "DepthSample",
+    "LatencyRecorder",
+    "LinkBandwidthMonitor",
+    "QueueDepthSampler",
+    "Summary",
+    "format_gbps",
+    "format_table",
+    "format_usec",
+    "jain_fairness",
+    "percentile",
+]

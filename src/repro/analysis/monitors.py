@@ -1,0 +1,128 @@
+"""Live measurement instruments: link bandwidth, latency, queue depth.
+
+These attach non-intrusively (interface taps, periodic sampling events) so
+experiments measure what actually crossed the wire rather than what the
+sender intended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..net.link import Link
+from ..net.node import Interface
+from ..net.packet import Packet
+from ..sim.simulator import Simulator
+from ..sim.units import SEC
+
+
+class LinkBandwidthMonitor:
+    """Counts wire bytes per direction on a link, with a filter option.
+
+    Direction "a2b" is traffic transmitted by ``link.a``; "b2a" by
+    ``link.b``.  ``rate_bps`` uses the window between the first and last
+    observed packet of that direction.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        accept: Optional[Callable[[Packet], bool]] = None,
+    ) -> None:
+        self.sim = sim
+        self.link = link
+        self.accept = accept
+        self.bytes = {"a2b": 0, "b2a": 0}
+        self.packets = {"a2b": 0, "b2a": 0}
+        self._first_ns = {"a2b": None, "b2a": None}
+        self._last_ns = {"a2b": 0.0, "b2a": 0.0}
+        link.taps.append(self._tap)
+
+    def _tap(self, src: Interface, packet: Packet) -> None:
+        if self.accept is not None and not self.accept(packet):
+            return
+        direction = "a2b" if src is self.link.a else "b2a"
+        self.bytes[direction] += packet.wire_len
+        self.packets[direction] += 1
+        if self._first_ns[direction] is None:
+            self._first_ns[direction] = self.sim.now
+        self._last_ns[direction] = self.sim.now
+
+    def rate_bps(self, direction: str) -> float:
+        first = self._first_ns[direction]
+        if first is None:
+            return 0.0
+        window = self._last_ns[direction] - first
+        if window <= 0:
+            return 0.0
+        return self.bytes[direction] * 8 * SEC / window
+
+    def total_bytes(self) -> int:
+        return self.bytes["a2b"] + self.bytes["b2a"]
+
+
+class LatencyRecorder:
+    """Records per-packet one-way latency at a receiving host.
+
+    Requires senders to stamp ``meta['sent_at']`` (the workload generators
+    all do).
+    """
+
+    def __init__(self, host) -> None:
+        self.host = host
+        self.latencies_ns: List[float] = []
+        host.packet_handlers.append(self._handle)
+
+    def _handle(self, packet: Packet, interface: Interface) -> None:
+        sent_at = packet.meta.get("sent_at")
+        if sent_at is None:
+            return
+        self.latencies_ns.append(self.host.sim.now - sent_at)
+
+
+@dataclass
+class DepthSample:
+    time_ns: float
+    depth_bytes: int
+    depth_packets: int
+
+
+class QueueDepthSampler:
+    """Samples a port queue's depth on a fixed period."""
+
+    def __init__(
+        self, sim: Simulator, queue, period_ns: float = 10_000.0
+    ) -> None:
+        self.sim = sim
+        self.queue = queue
+        self.period_ns = period_ns
+        self.samples: List[DepthSample] = []
+        self._stopped = False
+
+    def start(self) -> None:
+        self.sim.schedule(0.0, self._sample)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _sample(self) -> None:
+        if self._stopped:
+            return
+        self.samples.append(
+            DepthSample(self.sim.now, self.queue.depth_bytes, len(self.queue))
+        )
+        self.sim.schedule(self.period_ns, self._sample)
+
+    def peak_depth_bytes(self) -> int:
+        if not self.samples:
+            return 0
+        return max(s.depth_bytes for s in self.samples)
+
+    def time_to_reach(self, depth_bytes: int) -> Optional[float]:
+        """First sampled time the queue was at or above *depth_bytes*."""
+        for sample in self.samples:
+            if sample.depth_bytes >= depth_bytes:
+                return sample.time_ns
+        return None

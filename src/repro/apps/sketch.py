@@ -1,0 +1,172 @@
+"""Sketches for data-plane telemetry (§2.3).
+
+Count-Min Sketch and Count Sketch [11] over pluggable counter backends:
+
+* :class:`LocalCounterBackend` — register arrays in switch SRAM, with the
+  hard capacity budget that motivates the paper ("the limited memory space
+  either directly determines the performance, like sketch systems").
+* :class:`RemoteCounterBackend` — counters in remote DRAM, updated through
+  the state-store primitive's Fetch-and-Add machinery (pacing, batching),
+  read back by the control plane for estimation.
+
+The estimation math is identical across backends, so experiments isolate
+exactly what the paper argues: more memory (remote DRAM) → wider sketch →
+lower error, at zero CPU and bounded link overhead.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Protocol
+
+from ..core.state_store import RemoteStateStore
+from ..switches.hashing import crc32
+from ..switches.registers import RegisterArray
+
+_SIGN_BIT = 1 << 63
+_U64 = 1 << 64
+
+
+def _to_signed(value: int) -> int:
+    """Interpret a 64-bit counter as two's-complement signed."""
+    value %= _U64
+    return value - _U64 if value >= _SIGN_BIT else value
+
+
+class CounterBackend(Protocol):
+    """Where sketch counters live and how they are updated/read."""
+
+    def add(self, row: int, index: int, value: int) -> None: ...
+
+    def read(self, row: int, index: int) -> int: ...
+
+
+class LocalCounterBackend:
+    """Sketch rows in switch SRAM register arrays, under a byte budget."""
+
+    def __init__(self, depth: int, width: int, sram_budget_bytes: int) -> None:
+        needed = depth * width * 8
+        if needed > sram_budget_bytes:
+            raise MemoryError(
+                f"sketch of {depth}x{width} needs {needed} B, SRAM budget "
+                f"is {sram_budget_bytes} B"
+            )
+        self.depth = depth
+        self.width = width
+        self._rows: List[RegisterArray] = [
+            RegisterArray(f"sketch.row{r}", width, width_bits=64)
+            for r in range(depth)
+        ]
+
+    def add(self, row: int, index: int, value: int) -> None:
+        self._rows[row].add(index, value)
+
+    def read(self, row: int, index: int) -> int:
+        return self._rows[row].read(index)
+
+
+class RemoteCounterBackend:
+    """Sketch rows in remote DRAM via the state-store primitive.
+
+    Row r's counter i maps to state-store index ``r * width + i``.  Reads
+    go through the control plane (estimation runs there, per §4).
+    """
+
+    def __init__(self, store: RemoteStateStore, depth: int, width: int) -> None:
+        if depth * width > store.config.counters:
+            raise MemoryError(
+                f"sketch of {depth}x{width} needs {depth * width} counters, "
+                f"store has {store.config.counters}"
+            )
+        self.store = store
+        self.depth = depth
+        self.width = width
+
+    def add(self, row: int, index: int, value: int) -> None:
+        self.store.update(row * self.width + index, value)
+
+    def read(self, row: int, index: int) -> int:
+        return self.store.read_counter_via_control_plane(
+            row * self.width + index
+        )
+
+
+def _row_hash(row: int, key: bytes, width: int) -> int:
+    return crc32(struct.pack("!I", 0x9E3779B9 * (row + 1) & 0xFFFFFFFF) + key) % width
+
+
+def _row_sign(row: int, key: bytes) -> int:
+    digest = crc32(struct.pack("!I", 0x85EBCA6B * (row + 1) & 0xFFFFFFFF) + key)
+    return 1 if digest & 1 else -1
+
+
+@dataclass
+class SketchGeometry:
+    """depth = number of rows, width = counters per row."""
+
+    depth: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0 or self.width <= 0:
+            raise ValueError(f"invalid sketch geometry {self.depth}x{self.width}")
+
+    @property
+    def counters(self) -> int:
+        return self.depth * self.width
+
+    @property
+    def bytes(self) -> int:
+        return self.counters * 8
+
+
+class CountMinSketch:
+    """Classic Count-Min: overcounts only, error ≤ e·N/width w.h.p."""
+
+    def __init__(self, geometry: SketchGeometry, backend: CounterBackend) -> None:
+        self.geometry = geometry
+        self.backend = backend
+        self.items_added = 0
+
+    def add(self, key: bytes, value: int = 1) -> None:
+        if value < 0:
+            raise ValueError("Count-Min supports non-negative updates only")
+        self.items_added += value
+        for row in range(self.geometry.depth):
+            index = _row_hash(row, key, self.geometry.width)
+            self.backend.add(row, index, value)
+
+    def estimate(self, key: bytes) -> int:
+        return min(
+            self.backend.read(row, _row_hash(row, key, self.geometry.width))
+            for row in range(self.geometry.depth)
+        )
+
+
+class CountSketch:
+    """Count Sketch [11]: signed updates, unbiased median estimator."""
+
+    def __init__(self, geometry: SketchGeometry, backend: CounterBackend) -> None:
+        self.geometry = geometry
+        self.backend = backend
+        self.items_added = 0
+
+    def add(self, key: bytes, value: int = 1) -> None:
+        self.items_added += abs(value)
+        for row in range(self.geometry.depth):
+            index = _row_hash(row, key, self.geometry.width)
+            self.backend.add(row, index, _row_sign(row, key) * value)
+
+    def estimate(self, key: bytes) -> int:
+        estimates = sorted(
+            _row_sign(row, key)
+            * _to_signed(
+                self.backend.read(row, _row_hash(row, key, self.geometry.width))
+            )
+            for row in range(self.geometry.depth)
+        )
+        mid = len(estimates) // 2
+        if len(estimates) % 2:
+            return estimates[mid]
+        return (estimates[mid - 1] + estimates[mid]) // 2

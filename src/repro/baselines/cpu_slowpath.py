@@ -1,0 +1,89 @@
+"""The CPU slow path: what switches fall back to when SRAM runs out.
+
+§2.2: applications "typically fall back to the software (i.e., either on
+server or switch's CPU) whenever the memory in the data plane is
+insufficient" — orders of magnitude slower than the pipeline.  The model
+is a single-server queue: fixed software latency per packet plus a bounded
+service rate (packets per second), with a finite queue that drops under
+overload, all typical of a PCIe-attached switch CPU doing software
+forwarding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional, Tuple
+
+from ..net.packet import Packet
+from ..sim.simulator import Simulator
+from ..sim.units import usec
+
+
+@dataclass
+class CpuSlowPathConfig:
+    """Software forwarding costs (switch-CPU class hardware)."""
+
+    #: Per-packet software latency (PCIe + kernel/user processing).
+    latency_ns: float = usec(30)
+    #: Sustained software forwarding rate.
+    rate_pps: float = 1e6
+    #: Queue toward the CPU (packets); overflow drops.
+    queue_packets: int = 1024
+
+
+@dataclass
+class CpuSlowPathStats:
+    packets_handled: int = 0
+    packets_dropped: int = 0
+    busy_ns: float = 0.0
+
+
+DeliverFn = Callable[[Packet], None]
+
+
+class CpuSlowPath:
+    """A software forwarding path with bounded rate and queue."""
+
+    def __init__(
+        self, sim: Simulator, config: Optional[CpuSlowPathConfig] = None
+    ) -> None:
+        self.sim = sim
+        self.config = config if config is not None else CpuSlowPathConfig()
+        self.stats = CpuSlowPathStats()
+        self._queue: Deque[Tuple[Packet, DeliverFn]] = deque()
+        self._busy = False
+
+    @property
+    def service_ns(self) -> float:
+        return 1e9 / self.config.rate_pps
+
+    def submit(self, packet: Packet, deliver: DeliverFn) -> bool:
+        """Queue *packet* for software processing; False if dropped."""
+        if len(self._queue) >= self.config.queue_packets:
+            self.stats.packets_dropped += 1
+            return False
+        self._queue.append((packet, deliver))
+        if not self._busy:
+            self._serve_next()
+        return True
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet, deliver = self._queue.popleft()
+        self.stats.busy_ns += self.service_ns
+        self.sim.schedule(self.service_ns, self._release, packet, deliver)
+
+    def _release(self, packet: Packet, deliver: DeliverFn) -> None:
+        # The packet completes after the full software latency; the CPU is
+        # free to start the next packet after the (shorter) service time.
+        remaining = max(0.0, self.config.latency_ns - self.service_ns)
+        self.sim.schedule(remaining, self._deliver, packet, deliver)
+        self._serve_next()
+
+    def _deliver(self, packet: Packet, deliver: DeliverFn) -> None:
+        self.stats.packets_handled += 1
+        deliver(packet)

@@ -1,0 +1,45 @@
+"""A plain L2 learning switch program.
+
+This is the paper's Fig 3a baseline: "a simple P4 implementation of L2
+switch without doing anything special" — MAC learning plus flooding on
+unknown destinations.
+"""
+
+from __future__ import annotations
+
+from ..net.headers import EthernetHeader
+from ..net.packet import Packet
+from ..switches.pipeline import PipelineContext, SwitchProgram
+from ..switches.tables import ActionEntry, ExactMatchTable, TableFullError
+
+
+class L2SwitchProgram(SwitchProgram):
+    """MAC-learning L2 forwarding with a bounded MAC table."""
+
+    def __init__(self, mac_table_capacity: int = 4096) -> None:
+        self.mac_table = ExactMatchTable("l2.mac", mac_table_capacity)
+
+    def learn(self, mac, port: int) -> None:
+        """Install/refresh the source-MAC → port binding."""
+        try:
+            self.mac_table.insert(mac, ActionEntry("forward", {"port": port}))
+        except TableFullError:
+            # A full MAC table degrades to flooding — exactly the memory
+            # pressure the paper describes; never a hard error.
+            pass
+
+    def on_ingress(self, ctx: PipelineContext, packet: Packet) -> None:
+        eth = packet.find(EthernetHeader)
+        if eth is None:
+            ctx.drop()
+            return
+        if ctx.in_port is not None and not eth.src.is_broadcast:
+            self.learn(eth.src, ctx.in_port)
+        if eth.dst.is_broadcast or eth.dst.is_multicast:
+            ctx.flood()
+            return
+        entry = self.mac_table.lookup(eth.dst)
+        if entry is not None and entry.action == "forward":
+            ctx.forward(entry.params["port"])
+        else:
+            ctx.flood()

@@ -1,0 +1,95 @@
+"""Priority Flow Control (802.1Qbb) baseline.
+
+The paper's alternative for lossless incast absorption (§2.1): when the
+shared buffer crosses a pause threshold the switch sends PFC PAUSE frames
+upstream; senders stop until a resume.  PFC avoids drops but causes
+head-of-line blocking (and, at scale, deadlocks [36]) — the incast
+benchmark shows the victim-flow cost against the remote packet buffer.
+
+The model pauses the *peer interface* of each ingress port after one link
+propagation delay (the PAUSE frame's flight time).  Pause is class-
+agnostic (a single priority), which is all the experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..net.packet import Packet
+from ..switches.switch import ProgrammableSwitch
+from ..switches.traffic_manager import HookVerdict, PortQueue
+from ..sim.units import kib
+
+
+@dataclass
+class PfcConfig:
+    """Pause/resume thresholds on shared-buffer occupancy."""
+
+    pause_threshold_bytes: int = kib(96)
+    resume_threshold_bytes: int = kib(48)
+
+
+@dataclass
+class PfcStats:
+    pause_events: int = 0
+    resume_events: int = 0
+
+
+class PfcManager:
+    """Asserts PAUSE upstream when the switch buffer runs hot."""
+
+    def __init__(
+        self,
+        switch: ProgrammableSwitch,
+        upstream_ports: Sequence[int],
+        config: Optional[PfcConfig] = None,
+    ) -> None:
+        self.switch = switch
+        self.upstream_ports = list(upstream_ports)
+        self.config = config if config is not None else PfcConfig()
+        if (
+            self.config.resume_threshold_bytes
+            >= self.config.pause_threshold_bytes
+        ):
+            raise ValueError("resume threshold must be below pause threshold")
+        self.stats = PfcStats()
+        self.paused = False
+        if switch.tm.egress_hook is not None:
+            raise RuntimeError("switch TM already has an egress hook")
+        switch.tm.egress_hook = self._observe_enqueue
+        switch.tm.dequeue_listeners.append(self._observe_dequeue)
+
+    def _observe_enqueue(
+        self, port: int, packet: Packet, queue: PortQueue
+    ) -> HookVerdict:
+        if (
+            not self.paused
+            and self.switch.tm.used_bytes + packet.buffer_len
+            >= self.config.pause_threshold_bytes
+        ):
+            self._set_paused(True)
+        return HookVerdict.PASS
+
+    def _observe_dequeue(self, port: int, packet: Packet, queue: PortQueue) -> None:
+        if (
+            self.paused
+            and self.switch.tm.used_bytes <= self.config.resume_threshold_bytes
+        ):
+            self._set_paused(False)
+
+    def _set_paused(self, paused: bool) -> None:
+        self.paused = paused
+        if paused:
+            self.stats.pause_events += 1
+        else:
+            self.stats.resume_events += 1
+        for port in self.upstream_ports:
+            iface = self.switch.port_interface(port)
+            peer = iface.peer
+            if peer is None or iface.link is None:
+                continue
+            # The PAUSE frame takes one propagation delay to reach the peer.
+            self.switch.sim.schedule(
+                iface.link.propagation_ns, peer.set_paused, paused
+            )

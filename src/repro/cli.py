@@ -1,0 +1,223 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Installed as ``repro-experiments`` (see pyproject.toml).  Examples::
+
+    repro-experiments fig3a
+    repro-experiments incast --scale 0.25
+    repro-experiments ablations --which drops
+    repro-experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from .experiments import ablations
+from .experiments.baremetal import format_baremetal, run_baremetal_comparison
+from .experiments.fig3a import format_fig3a, run_fig3a
+from .experiments.fig3b import format_fig3b, run_fig3b
+from .experiments.incast import format_incast, run_incast_comparison
+from .experiments.kv_cache import format_kv_cache, run_kv_cache_comparison
+from .experiments.overhead import format_overhead, run_overhead
+from .experiments.packet_buffer_rate import (
+    format_packet_buffer_rate,
+    run_packet_buffer_rate,
+)
+from .experiments.persistent_congestion import (
+    format_persistent_congestion,
+    run_persistent_congestion_comparison,
+)
+from .experiments.sequencer import format_sequencer, run_sequencer_throughput
+from .experiments.telemetry import format_telemetry, run_telemetry
+
+
+def _cmd_fig3a(args: argparse.Namespace) -> str:
+    return format_fig3a(run_fig3a(probes=args.probes))
+
+
+def _cmd_fig3b(args: argparse.Namespace) -> str:
+    return format_fig3b(run_fig3b(packets=args.packets))
+
+
+def _cmd_packet_buffer(args: argparse.Namespace) -> str:
+    return format_packet_buffer_rate(
+        run_packet_buffer_rate(packets=args.packets)
+    )
+
+
+def _cmd_incast(args: argparse.Namespace) -> str:
+    return format_incast(
+        run_incast_comparison(scale=args.scale, senders=args.senders)
+    )
+
+
+def _cmd_overhead(args: argparse.Namespace) -> str:
+    return format_overhead(run_overhead())
+
+
+def _cmd_baremetal(args: argparse.Namespace) -> str:
+    return format_baremetal(
+        run_baremetal_comparison(vips=args.vips, packets=args.packets)
+    )
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> str:
+    return format_telemetry(
+        run_telemetry(flows=args.flows, packets=args.packets)
+    )
+
+
+def _cmd_persistent(args: argparse.Namespace) -> str:
+    return format_persistent_congestion(
+        run_persistent_congestion_comparison(duration_ms=args.duration_ms)
+    )
+
+
+def _cmd_sequencer(args: argparse.Namespace) -> str:
+    return format_sequencer(run_sequencer_throughput(packets=args.packets))
+
+
+def _cmd_kv_cache(args: argparse.Namespace) -> str:
+    return format_kv_cache(
+        run_kv_cache_comparison(keys=args.keys, queries=args.queries)
+    )
+
+
+_ABLATIONS: Dict[str, Callable[[], str]] = {
+    "batching": lambda: ablations.format_batching(ablations.run_batching_ablation()),
+    "window": lambda: ablations.format_window(ablations.run_window_ablation()),
+    "cache": lambda: ablations.format_cache(ablations.run_cache_ablation()),
+    "mode": lambda: ablations.format_mode(ablations.run_mode_ablation()),
+    "drops": lambda: ablations.format_drops(ablations.run_drop_ablation()),
+    "priority": lambda: ablations.format_priority(
+        ablations.run_priority_ablation()
+    ),
+}
+
+
+def _cmd_ablations(args: argparse.Namespace) -> str:
+    which = list(_ABLATIONS) if args.which == "all" else [args.which]
+    return "\n\n".join(_ABLATIONS[name]() for name in which)
+
+
+def _cmd_all(args: argparse.Namespace) -> str:
+    quick = args.quick
+    sections = [
+        format_overhead(run_overhead()),
+        format_fig3a(run_fig3a(probes=10 if quick else 30)),
+        format_fig3b(run_fig3b(packets=2000 if quick else 4000)),
+        format_packet_buffer_rate(
+            run_packet_buffer_rate(
+                offered_rates_gbps=(33, 34, 35, 36, 40) if quick else
+                (32, 33, 34, 35, 36, 38, 40),
+                packets=3000 if quick else 8000,
+            )
+        ),
+        format_incast(
+            run_incast_comparison(scale=0.1 if quick else 1.0)
+        ),
+        format_baremetal(
+            run_baremetal_comparison(
+                vips=2000 if quick else 20_000,
+                packets=1500 if quick else 6000,
+            )
+        ),
+        format_telemetry(
+            run_telemetry(
+                flows=3000 if quick else 20_000,
+                packets=4000 if quick else 20_000,
+                remote_counters=1 << 16 if quick else 1 << 20,
+            )
+        ),
+        format_kv_cache(
+            run_kv_cache_comparison(
+                keys=2000 if quick else 10_000,
+                queries=1500 if quick else 5000,
+            )
+        ),
+    ]
+    return "\n\n".join(sections)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Generic External Memory "
+            "for Switch Data Planes' (HotNets 2018)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig3a", help="latency overhead of the lookup primitive")
+    p.add_argument("--probes", type=int, default=30)
+    p.set_defaults(fn=_cmd_fig3a)
+
+    p = sub.add_parser("fig3b", help="bandwidth overhead of the state store")
+    p.add_argument("--packets", type=int, default=4000)
+    p.set_defaults(fn=_cmd_fig3b)
+
+    p = sub.add_parser("packet-buffer", help="§5 store/forward rate sweep")
+    p.add_argument("--packets", type=int, default=8000)
+    p.set_defaults(fn=_cmd_packet_buffer)
+
+    p = sub.add_parser("incast", help="§2.1 incast comparison")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--senders", type=int, default=8)
+    p.set_defaults(fn=_cmd_incast)
+
+    p = sub.add_parser("overhead", help="§4 RoCE header overhead table")
+    p.set_defaults(fn=_cmd_overhead)
+
+    p = sub.add_parser("baremetal", help="§2.2 VIP→PIP translation")
+    p.add_argument("--vips", type=int, default=10_000)
+    p.add_argument("--packets", type=int, default=5000)
+    p.set_defaults(fn=_cmd_baremetal)
+
+    p = sub.add_parser("telemetry", help="§2.3 sketch scaling")
+    p.add_argument("--flows", type=int, default=20_000)
+    p.add_argument("--packets", type=int, default=15_000)
+    p.set_defaults(fn=_cmd_telemetry)
+
+    p = sub.add_parser("sequencer", help="§6 in-network sequencer throughput")
+    p.add_argument("--packets", type=int, default=3000)
+    p.set_defaults(fn=_cmd_sequencer)
+
+    p = sub.add_parser("kv-cache", help="§6 in-network KV cache study")
+    p.add_argument("--keys", type=int, default=10_000)
+    p.add_argument("--queries", type=int, default=5000)
+    p.set_defaults(fn=_cmd_kv_cache)
+
+    p = sub.add_parser(
+        "persistent-congestion",
+        help="§2.1 persistent overload: remote buffer vs buffer+ECN",
+    )
+    p.add_argument("--duration-ms", type=float, default=6.0)
+    p.set_defaults(fn=_cmd_persistent)
+
+    p = sub.add_parser("ablations", help="§7 design-choice ablations")
+    p.add_argument(
+        "--which",
+        choices=[*_ABLATIONS, "all"],
+        default="all",
+    )
+    p.set_defaults(fn=_cmd_ablations)
+
+    p = sub.add_parser("all", help="run every experiment")
+    p.add_argument("--quick", action="store_true", help="reduced scales")
+    p.set_defaults(fn=_cmd_all)
+
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.fn(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

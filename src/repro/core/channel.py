@@ -1,0 +1,152 @@
+"""The RDMA channel controller (the paper's control-plane component, §3).
+
+"An RDMA channel controller running on the switch control plane and a
+server is responsible to allocate memory regions on the server, set up an
+RDMA channel, and pass the channel information including a remote queue
+pair number (QPN), a base address of the registered memory region, and a
+remote access key (Rkey) for the region to the data plane via the switch
+control plane APIs."
+
+That is exactly what :class:`RdmaChannelController.open_channel` does.  The
+returned :class:`RemoteMemoryChannel` is the information handed to the data
+plane; primitives read only its scalar fields (QPN, rkey, base address,
+port), never touching server objects — mirroring the hardware split where
+the data plane knows numbers, not pointers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hosts.server import MemoryServer
+from ..rdma.memory import AccessFlags, MemoryRegion
+from ..rdma.qp import QueuePair
+from ..rdma.verbs import connect_qps
+from ..switches.switch import ProgrammableSwitch
+
+
+class ChannelError(RuntimeError):
+    """Raised when a channel cannot be established."""
+
+
+@dataclass
+class RemoteMemoryChannel:
+    """Everything the data plane needs to reach one remote memory region."""
+
+    name: str
+    #: Switch-side soft queue pair (PSN state lives in data-plane registers
+    #: on real hardware; we reuse the QueuePair abstraction).
+    switch_qp: QueuePair
+    #: The server-side QP terminated by the RNIC.
+    server_qp: QueuePair
+    #: Switch egress port facing the memory server.
+    server_port: int
+    #: Remote access key of the registered region.
+    rkey: int
+    #: Base virtual address of the registered region.
+    base_address: int
+    #: Region length in bytes.
+    length: int
+    #: Control-plane handle to the region (tests and controller use only).
+    region: MemoryRegion = field(repr=False, default=None)
+    #: The memory server (control-plane handle, never used by primitives).
+    server: MemoryServer = field(repr=False, default=None)
+
+    @property
+    def end_address(self) -> int:
+        return self.base_address + self.length
+
+
+class RdmaChannelController:
+    """Control-plane agent establishing channels between a switch and servers.
+
+    One controller per switch.  ``open_channel`` performs the whole §3
+    initialization sequence: allocate + register server memory, create the
+    server QP, create the switch-side soft QP, connect the pair, and
+    return the channel descriptor for the data plane.
+    """
+
+    _switch_qpn = itertools.count(0x100)
+
+    def __init__(self, switch: ProgrammableSwitch) -> None:
+        self.switch = switch
+        self.channels: list[RemoteMemoryChannel] = []
+
+    def open_channel(
+        self,
+        server: MemoryServer,
+        server_port: int,
+        size_bytes: int = 0,
+        name: Optional[str] = None,
+        access: AccessFlags = AccessFlags.ALL_REMOTE,
+        share_region_with: Optional[RemoteMemoryChannel] = None,
+    ) -> RemoteMemoryChannel:
+        """Establish an RDMA channel to *size_bytes* of *server*'s DRAM.
+
+        ``server_port`` is the switch port the memory server is attached
+        to.  Raises :class:`ChannelError` when the port does not face that
+        server or the port lacks the IP identity RoCE packets need.
+
+        ``share_region_with`` opens a *second queue pair* onto an existing
+        channel's memory region instead of registering new memory.  RC
+        delivers strictly in PSN order per QP, so two traffic classes that
+        the switch may reorder (e.g. prioritized READs overtaking bulk
+        WRITEs) must ride separate QPs — sharing a QP would NAK-storm.
+        """
+        if not 0 <= server_port < self.switch.port_count:
+            raise ChannelError(
+                f"switch {self.switch.name} has no port {server_port}"
+            )
+        port_iface = self.switch.port_interface(server_port)
+        if port_iface.ip is None:
+            raise ChannelError(
+                f"port {server_port} needs an IP address to source RoCE "
+                "packets; pass ip= to add_port()"
+            )
+        peer = port_iface.peer
+        if peer is None or peer.node is not server:
+            raise ChannelError(
+                f"port {server_port} is not connected to server {server.name}"
+            )
+
+        # 1. Allocate and register the memory region on the server (or
+        #    adopt the shared one).
+        if share_region_with is not None:
+            if share_region_with.server is not server:
+                raise ChannelError(
+                    "cannot share a region across different servers"
+                )
+            region = share_region_with.region
+        else:
+            region = server.lend_memory(size_bytes, access=access)
+        # 2. Create the server-side queue pair on its RNIC.
+        server_qp = server.rnic.create_qp()
+        # 3. Create the switch-side soft queue pair, sourced from the port.
+        switch_qp = QueuePair(
+            next(self._switch_qpn), port_iface.ip, port_iface.mac
+        )
+        # 4. Exchange connection state (the blue dashed line in Fig. 2).
+        connect_qps(switch_qp, server_qp)
+
+        channel = RemoteMemoryChannel(
+            name=name or f"{self.switch.name}->{server.name}",
+            switch_qp=switch_qp,
+            server_qp=server_qp,
+            server_port=server_port,
+            rkey=region.rkey,
+            base_address=region.base_address,
+            length=region.length,
+            region=region,
+            server=server,
+        )
+        self.channels.append(channel)
+        return channel
+
+    def close_channel(self, channel: RemoteMemoryChannel) -> None:
+        """Tear the channel down and deregister the memory region."""
+        channel.region.deregister()
+        channel.switch_qp.to_error()
+        channel.server_qp.to_error()
+        self.channels.remove(channel)

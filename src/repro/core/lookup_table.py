@@ -1,0 +1,375 @@
+"""The remote lookup table primitive (§4).
+
+A remote exact-match table in server DRAM, indexed by a hash of the packet
+5-tuple.  On a local SRAM-table miss the primitive *bounces* the packet:
+
+1. compute ``index = hash(5-tuple) % entries`` and the entry's address,
+2. RDMA WRITE the original packet into the entry's packet slot (so the
+   switch holds no per-packet state while the lookup is in flight),
+3. RDMA READ the whole entry — ``(action, packet)`` — back,
+4. on the READ response, apply the action to the recovered packet, forward
+   it, and optionally cache the entry in local SRAM so subsequent packets
+   of the flow hit locally.
+
+The §7 ablation mode ``recirculate`` instead parks the original packet in
+the recirculation loop and READs only the action field, saving the WRITE's
+bandwidth at the cost of pipeline passes.
+
+Remote entry layout (``ACTION_BYTES`` = 16)::
+
+    0      1          2        6             10      16
+    +------+----------+--------+-------------+-------+----------------+
+    |valid | action_id| param  | fingerprint | (pad) | packet slot ...|
+    +------+----------+--------+-------------+-------+----------------+
+     u8     u8          u32 BE   u32 BE        6 B     entry_slot_bytes
+
+The 32-bit param is wide enough for an IPv4 address, so the bare-metal
+virtual switch (§2.2) can store VIP→PIP translations directly.  The 32-bit
+fingerprint (a second, independent hash of the 5-tuple) detects hash
+collisions between flows sharing an index: a mismatched fingerprint falls
+back to the default action instead of silently applying another flow's
+action.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional, Tuple
+
+from ..net.addresses import Ipv4Address
+from ..net.headers import Ipv4Header
+from ..net.packet import Packet
+from ..rdma.constants import Opcode, psn_distance
+from ..rdma.headers import BthHeader
+from ..switches.hashing import FiveTuple, crc16
+from ..switches.pipeline import PipelineContext
+from ..switches.switch import ProgrammableSwitch
+from ..switches.tables import ActionEntry, ExactMatchTable, TableFullError
+from .channel import RemoteMemoryChannel
+from .rocegen import RoceRequestGenerator
+
+ACTION_BYTES = 16
+_ACTION_FORMAT = "!BBII6x"
+
+#: Well-known remote actions.
+ACTION_NOP = 0
+ACTION_SET_DSCP = 1
+ACTION_SET_EGRESS = 2
+ACTION_DROP = 3
+#: Rewrite the destination IP (VIP → PIP translation, §2.2); param is the
+#: physical IPv4 address as a 32-bit integer.
+ACTION_SET_DST_IP = 4
+
+
+@dataclass(frozen=True)
+class RemoteAction:
+    """A decoded remote-table action."""
+
+    action_id: int
+    param: int
+
+    def pack_with(self, fingerprint: int) -> bytes:
+        return struct.pack(
+            _ACTION_FORMAT, 1, self.action_id, self.param, fingerprint
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> Tuple[bool, "RemoteAction", int]:
+        """Returns (valid, action, fingerprint)."""
+        valid, action_id, param, fingerprint = struct.unpack(
+            _ACTION_FORMAT, data[:ACTION_BYTES]
+        )
+        return bool(valid), cls(action_id=action_id, param=param), fingerprint
+
+
+@dataclass
+class LookupTableConfig:
+    """Geometry and behaviour of the remote lookup table."""
+
+    #: Number of remote entries (the remote table is a fixed-size array).
+    entries: int = 1 << 16
+    #: Packet slot size within an entry (one full frame, like §4).
+    packet_slot_bytes: int = 1600
+    #: Local SRAM cache capacity in flows (0 disables caching).
+    cache_entries: int = 1024
+    #: Insert fetched entries into the local cache (§4's optional step).
+    cache_fill: bool = True
+    #: "bounce" (deposit packet remotely, §4) or "recirculate" (§7 option).
+    mode: str = "bounce"
+
+    @property
+    def entry_bytes(self) -> int:
+        return ACTION_BYTES + self.packet_slot_bytes
+
+
+@dataclass
+class LookupTableStats:
+    local_hits: int = 0
+    remote_lookups: int = 0
+    remote_hits: int = 0
+    remote_invalid: int = 0
+    fingerprint_mismatches: int = 0
+    cache_inserts: int = 0
+    cache_evictions: int = 0
+    recirculation_passes: int = 0
+    #: Lookups (and, in bounce mode, their packets) lost to RDMA drops —
+    #: §7: "an RDMA packet drop would lead to dropping the original packet".
+    lookups_lost: int = 0
+
+
+def fingerprint_of(flow: FiveTuple) -> int:
+    """A 32-bit flow fingerprint independent of the index hash.
+
+    CRC16 over the packed tuple and CRC16 over its reverse, concatenated —
+    cheap enough for one pipeline stage, and independent enough from the
+    CRC32 index hash that index collisions rarely share fingerprints.
+    """
+    packed = flow.pack()
+    return (crc16(packed) << 16) | crc16(packed[::-1])
+
+
+#: Program-supplied policy: (packet, action) -> egress port, or None to drop.
+ResolveEgress = Callable[[Packet, RemoteAction], Optional[int]]
+
+
+class RemoteLookupTable:
+    """Data-plane component: remote match-action table with local cache."""
+
+    def __init__(
+        self,
+        switch: ProgrammableSwitch,
+        channel: RemoteMemoryChannel,
+        config: Optional[LookupTableConfig] = None,
+        default_action: Optional[RemoteAction] = None,
+    ) -> None:
+        self.switch = switch
+        self.channel = channel
+        self.config = config if config is not None else LookupTableConfig()
+        if self.config.mode not in ("bounce", "recirculate"):
+            raise ValueError(f"unknown mode: {self.config.mode!r}")
+        needed = self.config.entries * self.config.entry_bytes
+        if needed > channel.length:
+            raise ValueError(
+                f"{self.config.entries} entries x {self.config.entry_bytes} B "
+                f"= {needed} B exceed the channel's {channel.length} B"
+            )
+        self.default_action = (
+            default_action
+            if default_action is not None
+            else RemoteAction(ACTION_NOP, 0)
+        )
+        self.stats = LookupTableStats()
+        self.rocegen = RoceRequestGenerator(switch, channel)
+        self.cache: Optional[ExactMatchTable] = (
+            ExactMatchTable("lookup.cache", self.config.cache_entries)
+            if self.config.cache_entries > 0
+            else None
+        )
+        # In-flight lookups, issue order.  Each entry records its READ's
+        # PSN so responses are matched exactly (a FIFO popleft would
+        # misalign after go-back-N losses discard a window of lookups).
+        self._pending: Deque[dict] = deque()
+        # Guard against the NAK bursts one loss event produces: a resync
+        # is acted on once; echoes within the guard window are ignored so
+        # they cannot kill lookups issued after the resync.
+        self._last_resync: Optional[tuple] = None
+        self._resync_guard_ns = 20_000.0
+        #: Program-supplied forwarding policy applied after the action
+        #: mutates the packet.  The default understands ACTION_SET_EGRESS
+        #: and drops everything else.
+        self.resolve_egress: ResolveEgress = self._default_resolve
+        #: How packets map to table keys.  Defaults to the full 5-tuple;
+        #: programs override it to key on a subset (e.g. the §2.2 virtual
+        #: switch keys on the destination VIP alone).
+        self.flow_of: Callable[[Packet], FiveTuple] = FiveTuple.of
+
+    # -- control plane: populating the remote table ---------------------------------
+
+    def index_of(self, flow: FiveTuple) -> int:
+        return flow.hash() % self.config.entries
+
+    def entry_address(self, index: int) -> int:
+        return self.channel.base_address + index * self.config.entry_bytes
+
+    def install(self, flow: FiveTuple, action: RemoteAction) -> int:
+        """Control-plane write of *action* for *flow* into the remote table.
+
+        Returns the entry index.  (The controller writes through its own
+        channel to the server; modelled as a direct region write.)
+        """
+        index = self.index_of(flow)
+        data = action.pack_with(fingerprint_of(flow))
+        self.channel.region.write(self.entry_address(index), data)
+        return index
+
+    # -- data plane ---------------------------------------------------------------
+
+    def lookup(self, ctx: PipelineContext, packet: Packet) -> bool:
+        """Resolve and apply the action for *packet*.
+
+        Returns True when the packet was handled locally (cache hit: the
+        action has been applied synchronously) and False when a remote
+        lookup is in flight (the packet was bounced or parked; the caller
+        must not forward it).
+        """
+        flow = self.flow_of(packet)
+        if self.cache is not None:
+            cached = self.cache.lookup(flow)
+            if cached is not None:
+                self.stats.local_hits += 1
+                action = cached.params["remote_action"]
+                self._mutate(ctx, packet, action)
+                port = self.resolve_egress(packet, action)
+                if port is None or action.action_id == ACTION_DROP:
+                    ctx.drop()
+                else:
+                    ctx.forward(port)
+                return True
+        self._remote_lookup(ctx, packet, flow)
+        return False
+
+    def _remote_lookup(
+        self, ctx: PipelineContext, packet: Packet, flow: FiveTuple
+    ) -> None:
+        self.stats.remote_lookups += 1
+        index = self.index_of(flow)
+        address = self.entry_address(index)
+        pending = {
+            "flow": flow,
+            "index": index,
+            "meta": dict(packet.meta),
+            "issued_at": self.switch.sim.now,
+        }
+        if self.config.mode == "bounce":
+            # (1) deposit the packet in the entry's slot, (2) read the
+            # whole (action, packet) entry back.
+            frame = packet.pack()
+            slot_space = self.config.packet_slot_bytes
+            if len(frame) > slot_space:
+                raise ValueError(
+                    f"packet of {len(frame)} B exceeds the "
+                    f"{slot_space} B packet slot"
+                )
+            self.rocegen.write(address + ACTION_BYTES, frame)
+            request = self.rocegen.read(address, ACTION_BYTES + len(frame))
+        else:
+            # §7 alternative: keep the packet recirculating locally and
+            # fetch only the 8-byte action.
+            pending["parked"] = packet
+            request = self.rocegen.read(address, ACTION_BYTES)
+        pending["read_psn"] = request.require(BthHeader).psn
+        self._pending.append(pending)
+        ctx.drop()  # the original packet no longer proceeds on this pass
+
+    # -- response path ----------------------------------------------------------------
+
+    def try_handle(self, ctx: PipelineContext, packet: Packet) -> bool:
+        """Consume READ responses for this table; True when handled."""
+        if not self.rocegen.owns_response(packet):
+            return False
+        ctx.drop()  # responses never leave the switch
+        opcode = self.rocegen.classify_response(packet)
+        if self.rocegen.is_nak(packet):
+            self._handle_nak(packet)
+            return True
+        if opcode != Opcode.RDMA_READ_RESPONSE_ONLY:
+            return True
+        # Match the response to its lookup by PSN; anything older in the
+        # FIFO was lost to a drop window and never got a response.
+        psn = packet.require(BthHeader).psn
+        while self._pending and self._pending[0]["read_psn"] != psn:
+            self._pending.popleft()
+            self.stats.lookups_lost += 1
+        if not self._pending:
+            return True  # stale response from before a resync
+        pending = self._pending.popleft()
+        entry = packet.payload
+        valid, action, stored_fp = RemoteAction.unpack(entry)
+        flow: FiveTuple = pending["flow"]
+        if not valid:
+            self.stats.remote_invalid += 1
+            action = self.default_action
+        elif stored_fp != fingerprint_of(flow):
+            # Another flow owns this index — do not apply its action.
+            self.stats.fingerprint_mismatches += 1
+            action = self.default_action
+        else:
+            self.stats.remote_hits += 1
+            if self.cache is not None and self.config.cache_fill:
+                self._cache_fill(flow, action)
+        if self.config.mode == "bounce":
+            original = Packet.parse(entry[ACTION_BYTES:])
+            original.meta.update(pending["meta"])
+        else:
+            original = pending["parked"]
+            # Account the pipeline passes spent waiting in recirculation.
+            waited = self.switch.sim.now - pending["issued_at"]
+            passes = max(1, int(waited // self.switch.config.recirculation_latency_ns))
+            self.stats.recirculation_passes += passes
+        self._mutate(ctx, original, action)
+        port = self.resolve_egress(original, action)
+        if port is not None and action.action_id != ACTION_DROP:
+            # The original packet resumes its journey out of the resolved
+            # port; the response packet itself stays dropped.
+            ctx.emit(original, port)
+        return True
+
+    def _handle_nak(self, packet: Packet) -> None:
+        """One loss event → one resync: discard the rejected lookup suffix.
+
+        The NAK names the responder's expected PSN ``e``; every in-flight
+        lookup whose READ carries ``psn >= e`` was rejected and (in bounce
+        mode) its packet is gone.  Echo NAKs from the same event arrive
+        for a while; the guard window keeps them from touching lookups
+        issued after the resync (which legitimately reuse PSNs >= e).
+        """
+        expected = packet.require(BthHeader).psn
+        now = self.switch.sim.now
+        if (
+            self._last_resync is not None
+            and self._last_resync[0] == expected
+            and now - self._last_resync[1] < self._resync_guard_ns
+        ):
+            return  # echo of an already-handled loss event
+        self._last_resync = (expected, now)
+        self.rocegen.maybe_resync(packet)
+        while self._pending and psn_distance(
+            expected, self._pending[-1]["read_psn"]
+        ) < (1 << 23):
+            self._pending.pop()
+            self.stats.lookups_lost += 1
+
+    def _cache_fill(self, flow: FiveTuple, action: RemoteAction) -> None:
+        assert self.cache is not None
+        if self.cache.is_full and not self.cache.contains(flow):
+            self.cache.evict_oldest()
+            self.stats.cache_evictions += 1
+        try:
+            self.cache.insert(
+                flow, ActionEntry("remote", {"remote_action": action})
+            )
+            self.stats.cache_inserts += 1
+        except TableFullError:  # pragma: no cover - eviction above prevents it
+            pass
+
+    def _mutate(
+        self, ctx: PipelineContext, packet: Packet, action: RemoteAction
+    ) -> None:
+        """Apply the packet-modifying part of the built-in actions."""
+        if action.action_id == ACTION_SET_DSCP:
+            ip = packet.find(Ipv4Header)
+            if ip is not None:
+                ip.dscp = action.param & 0x3F
+        elif action.action_id == ACTION_SET_DST_IP:
+            ip = packet.find(Ipv4Header)
+            if ip is not None:
+                ip.dst = Ipv4Address(action.param)
+
+    @staticmethod
+    def _default_resolve(packet: Packet, action: RemoteAction) -> Optional[int]:
+        """Default forwarding policy when the program installs none."""
+        if action.action_id == ACTION_SET_EGRESS:
+            return action.param
+        return None

@@ -1,0 +1,563 @@
+"""The remote packet buffer primitive (§4).
+
+Extends one egress queue's capacity into ring buffers in server DRAM:
+
+* **Store** — when the protected egress queue exceeds a high watermark the
+  primitive diverts arriving packets into the ring with RDMA WRITE, one
+  full-sized Ethernet frame per ring entry.  Once diverting starts, *all*
+  subsequent packets for that queue divert until the ring drains, so
+  packets are never reordered (§4: "until all packets in remote buffer are
+  read, the following new packets must also be written to the remote
+  buffer and read out in order").
+* **Load** — when the local queue drains to a low watermark the primitive
+  issues RDMA READs for the head entries; each READ response is
+  decapsulated and the original packet re-enters the egress queue, and the
+  response also triggers the next READ while entries remain (§4's
+  response-triggered chaining).
+
+**Multiple servers.**  §2.1 buffers bursts "in one or multiple servers": a
+line-rate N-to-1 incast overflows at up to (N-1)x the link rate, far more
+than one server link absorbs.  The primitive therefore accepts a list of
+channels and stripes ring entries round-robin over the *surviving*
+channels.  Within a channel RC ordering keeps READ responses in issue
+order, but responses interleave *across* channels, so completed entries
+pass through a small reorder stage keyed by ring pointer before
+re-entering the egress queue — preserving the paper's no-reordering
+guarantee.
+
+**Server failure (§7 robustness).**  With ``failover_strikes`` set, a
+channel whose reads stall through that many consecutive go-back-N
+recoveries is declared dead: its unread entries are abandoned (clean
+losses, in order), new stores re-stripe over the survivors, and with no
+survivors left the switch degrades gracefully to plain drop-tail.
+
+Ring state (write/read pointers, mode flag) lives in data-plane register
+arrays, exactly as the P4 prototype keeps it.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..net.headers import Ipv4Header
+from ..net.packet import Packet
+from ..rdma.constants import Opcode
+from ..rdma.headers import BthHeader
+from ..sim.units import kib, mib
+from ..switches.pipeline import PipelineContext
+from ..switches.registers import RegisterArray
+from ..switches.switch import ProgrammableSwitch
+from ..switches.traffic_manager import HookVerdict, PortQueue
+from .channel import RemoteMemoryChannel
+from .rocegen import RoceRequestGenerator
+
+#: Register indices for the ring state.
+_WRITE_PTR, _READ_PTR, _NEXT_LOAD_PTR, _BUFFERING = range(4)
+
+#: Each ring entry is prefixed with its write pointer so a reader can tell
+#: a fresh entry from stale bytes left by a lost RDMA WRITE (§7: "an RDMA
+#: packet drop would lead to dropping the original packet" — the stamp
+#: turns would-be duplication into that clean loss).
+ENTRY_SEQ_BYTES = 8
+
+
+@dataclass
+class PacketBufferConfig:
+    """Tuning of the remote packet buffer primitive."""
+
+    #: Ring entry size; §4 allocates one full-sized Ethernet frame each
+    #: (plus the sequence stamp).
+    entry_bytes: int = 1600 + ENTRY_SEQ_BYTES
+    #: Start diverting when the protected queue depth exceeds this.
+    high_watermark_bytes: int = mib(8)
+    #: Start loading back when the queue depth falls to or below this.
+    low_watermark_bytes: int = kib(64)
+    #: READ pipelining depth per channel (each response triggers the next
+    #: READ; a small window keeps the return links busy).
+    max_outstanding_reads: int = 4
+    #: Request ACKs for WRITEs (reverse-path bandwidth vs. §7 reliability).
+    ack_writes: bool = False
+    #: Recovery timer for lost READs/responses: if no load progress within
+    #: this window while reads are outstanding, restart the read chain
+    #: (go-back-N).  None disables recovery (the paper's best-effort mode).
+    read_timeout_ns: Optional[float] = None
+    #: When True, loading never starts automatically; the experiment calls
+    #: :meth:`RemotePacketBuffer.start_draining` (§5 "we manually start the
+    #: two steps respectively" for the store/load microbenchmark).
+    manual_load: bool = False
+    #: §7 robustness: consecutive stalled recoveries on one channel before
+    #: it is declared failed and excluded (its unread entries are lost,
+    #: new stores re-stripe over the survivors).  None disables failover.
+    failover_strikes: Optional[int] = None
+    #: Co-design with end-to-end congestion control (§2.1): once this many
+    #: entries sit unread in the remote rings, diverted ECT packets are
+    #: CE-marked so ECN-reactive senders slow down — the remote buffer
+    #: masks local queue depth from normal ECN marking, so *persistent*
+    #: congestion must be signalled from ring occupancy instead.  None
+    #: disables ring-occupancy marking.
+    ecn_ring_threshold_entries: Optional[int] = None
+
+
+@dataclass
+class PacketBufferStats:
+    stored_packets: int = 0
+    stored_bytes: int = 0
+    loaded_packets: int = 0
+    loaded_bytes: int = 0
+    ring_full_drops: int = 0
+    oversize_drops: int = 0
+    buffering_episodes: int = 0
+    #: Entries whose stamp mismatched (their WRITE was lost in transit).
+    lost_in_transit: int = 0
+    #: Go-back-N read-chain recoveries.
+    read_recoveries: int = 0
+    #: Peak entries parked in the cross-channel reorder stage.
+    reorder_peak: int = 0
+    #: Channels declared failed (server/link death, §7 robustness).
+    channels_failed: int = 0
+    #: Entries abandoned because their channel failed before they were read.
+    lost_to_failover: int = 0
+    #: Diverted packets CE-marked because the ring crossed its ECN threshold.
+    ecn_marked: int = 0
+
+
+class RemotePacketBuffer:
+    """Data-plane component protecting one egress queue with remote memory."""
+
+    def __init__(
+        self,
+        switch: ProgrammableSwitch,
+        channels: Union[RemoteMemoryChannel, Sequence[RemoteMemoryChannel]],
+        protected_port: int,
+        config: Optional[PacketBufferConfig] = None,
+        read_channels: Optional[Sequence[RemoteMemoryChannel]] = None,
+    ) -> None:
+        """``read_channels`` (optional, one per write channel, sharing its
+        region) carry the READ stream on dedicated queue pairs.  Use them
+        whenever the traffic manager may reorder loads ahead of stores
+        (e.g. READ prioritization): RC is in-order per QP, so reordering
+        within one QP NAK-storms."""
+        if isinstance(channels, RemoteMemoryChannel):
+            channels = [channels]
+        if not channels:
+            raise ValueError("need at least one remote memory channel")
+        for channel in channels:
+            if protected_port == channel.server_port:
+                raise ValueError(
+                    "the protected port cannot be a memory-server port"
+                )
+        self.switch = switch
+        self.channels = list(channels)
+        self.protected_port = protected_port
+        self.config = config if config is not None else PacketBufferConfig()
+        self.stats = PacketBufferStats()
+        self.rocegens = [
+            RoceRequestGenerator(switch, channel) for channel in self.channels
+        ]
+        if read_channels is not None:
+            read_channels = list(read_channels)
+            if len(read_channels) != len(self.channels):
+                raise ValueError("need one read channel per write channel")
+            for write_ch, read_ch in zip(self.channels, read_channels):
+                if read_ch.rkey != write_ch.rkey:
+                    raise ValueError(
+                        "read channels must share their write channel's region"
+                    )
+            self.read_channels = read_channels
+            self.read_rocegens = [
+                RoceRequestGenerator(switch, channel)
+                for channel in read_channels
+            ]
+        else:
+            self.read_channels = self.channels
+            self.read_rocegens = self.rocegens
+        self.entries_per_channel = min(
+            channel.length // self.config.entry_bytes for channel in self.channels
+        )
+        if self.entries_per_channel <= 0:
+            raise ValueError(
+                f"smallest channel holds no {self.config.entry_bytes} B entries"
+            )
+        self.capacity_entries = self.entries_per_channel * len(self.channels)
+        # Ring state in data-plane registers (48-bit: monotonically
+        # increasing pointers, slot = ptr % capacity).
+        self._regs = RegisterArray(f"pktbuf[{protected_port}]", 4, width_bits=48)
+        self._outstanding_reads = 0
+        self._watchdog_armed = False
+        self._watchdog_snapshot = 0
+        self._manual_drain_started = False
+        # Per-channel FIFO of (ring pointer, PSN) for in-flight READs.
+        # Responses must match their channel's head; anything else is a
+        # stale response from a recovered chain.
+        self._inflight: List[Deque[Tuple[int, int]]] = [
+            deque() for _ in self.channels
+        ]
+        # Cross-channel reorder stage: completed entries by ring pointer.
+        self._reorder: Dict[int, Optional[Packet]] = {}
+        # Simulation bookkeeping: per-slot packet metadata survives the
+        # store/load round trip (on the wire the full frame carries it).
+        self._meta_by_index: Dict[int, dict] = {}
+        # Striping state.  Each entry's channel and remote address are
+        # recorded at store time (on hardware: an epoch register plus the
+        # same pointer arithmetic, reconfigured by the control plane on
+        # failover; here the mapping is explicit).
+        self._entry_channel: Dict[int, int] = {}
+        self._entry_address: Dict[int, int] = {}
+        self._rr_cursor = 0
+        self._channel_slot_counter = [0] * len(self.channels)
+        self._channel_unread = [0] * len(self.channels)
+        # §7 robustness: failure detection via consecutive stalled
+        # recoveries per channel.
+        self._channel_strikes = [0] * len(self.channels)
+        self._failed_channels: set = set()
+        # Entries whose WRITE request has left the switch (see _store).
+        self._flushed: set = set()
+        self._loading = False  # reentrancy guard for the load loop
+        # Plug into the traffic manager.
+        if switch.tm.egress_hook is not None:
+            raise RuntimeError("switch TM already has an egress hook")
+        switch.tm.egress_hook = self._egress_hook
+        switch.tm.dequeue_listeners.append(self._on_dequeue)
+
+    # -- ring geometry -------------------------------------------------------------
+
+    @property
+    def stored_entries(self) -> int:
+        return self._regs.read(_WRITE_PTR) - self._regs.read(_READ_PTR)
+
+    @property
+    def is_buffering(self) -> bool:
+        return bool(self._regs.read(_BUFFERING))
+
+    @property
+    def alive_channels(self) -> List[int]:
+        return [
+            i for i in range(len(self.channels))
+            if i not in self._failed_channels
+        ]
+
+    def _assign_channel(self) -> Optional[int]:
+        """Round-robin the next store over surviving channels.
+
+        Returns None when no channel can take the entry (all failed, or
+        every survivor's ring is full).
+        """
+        alive = self.alive_channels
+        for _ in range(len(alive)):
+            idx = alive[self._rr_cursor % len(alive)]
+            self._rr_cursor += 1
+            if self._channel_unread[idx] < self.entries_per_channel:
+                return idx
+        return None
+
+    # -- store path ---------------------------------------------------------------
+
+    def _egress_hook(
+        self, port: int, packet: Packet, queue: PortQueue
+    ) -> HookVerdict:
+        if port != self.protected_port:
+            return HookVerdict.PASS
+        if not self.is_buffering:
+            if (
+                queue.depth_bytes + packet.buffer_len
+                <= self.config.high_watermark_bytes
+            ):
+                return HookVerdict.PASS
+            # Queue built past the watermark: enter buffering mode.
+            self._regs.write(_BUFFERING, 1)
+            self.stats.buffering_episodes += 1
+        self._store(packet, queue)
+        return HookVerdict.CONSUMED
+
+    def _store(self, packet: Packet, queue: PortQueue) -> None:
+        threshold = self.config.ecn_ring_threshold_entries
+        if threshold is not None and self.stored_entries >= threshold:
+            ip = packet.find(Ipv4Header)
+            if ip is not None and ip.ecn in (1, 2):
+                ip.ecn = 3  # CE: the ring, not the port queue, is hot
+                self.stats.ecn_marked += 1
+        frame = packet.pack()
+        if len(frame) > self.config.entry_bytes - ENTRY_SEQ_BYTES:
+            self.stats.oversize_drops += 1
+            return
+        channel_idx = self._assign_channel()
+        if channel_idx is None:
+            # Remote rings exhausted — §2.1 argues O(10 GB) makes this
+            # rare; when it happens the packet drops like any buffer drop.
+            self.stats.ring_full_drops += 1
+            return
+        write_ptr = self._regs.read(_WRITE_PTR)
+        slot = (
+            self._channel_slot_counter[channel_idx] % self.entries_per_channel
+        )
+        self._channel_slot_counter[channel_idx] += 1
+        address = (
+            self.channels[channel_idx].base_address
+            + slot * self.config.entry_bytes
+        )
+        entry = struct.pack("!Q", write_ptr) + frame
+        # Loads must never outrun stores *inside the switch*: a READ that
+        # jumps the server-port queue (e.g. under read prioritization)
+        # would fetch the slot before its WRITE left the box.  The tag
+        # lets the TM dequeue listener mark the entry flushed.
+        self.rocegens[channel_idx].write(
+            address,
+            entry,
+            ack_request=self.config.ack_writes,
+            meta={"pktbuf_write_ptr": write_ptr},
+        )
+        self._entry_channel[write_ptr] = channel_idx
+        self._entry_address[write_ptr] = address
+        self._channel_unread[channel_idx] += 1
+        self._meta_by_index[write_ptr] = dict(packet.meta)
+        self._regs.write(_WRITE_PTR, write_ptr + 1)
+        self.stats.stored_packets += 1
+        self.stats.stored_bytes += len(frame)
+        # If the local queue already drained below the low watermark the
+        # dequeue trigger will never fire again — kick loading from here.
+        self._maybe_start_loading(queue)
+
+    # -- load path ------------------------------------------------------------------
+
+    def _on_dequeue(self, port: int, packet: Packet, queue: PortQueue) -> None:
+        flushed_ptr = packet.meta.get("pktbuf_write_ptr")
+        if flushed_ptr is not None:
+            # This entry's WRITE is on the wire; its READ may now be issued.
+            self._flushed.add(flushed_ptr)
+            if flushed_ptr == self._regs.read(_NEXT_LOAD_PTR):
+                self._maybe_start_loading(
+                    self.switch.port_queue(self.protected_port)
+                )
+            return
+        if port != self.protected_port:
+            return
+        self._maybe_start_loading(queue)
+
+    def start_draining(self) -> None:
+        """Manually begin loading stored packets back (§5 microbenchmark)."""
+        self._manual_drain_started = True
+        self._maybe_start_loading(self.switch.port_queue(self.protected_port))
+
+    def _maybe_start_loading(self, queue: PortQueue) -> None:
+        if self._loading:
+            return
+        if not self.is_buffering:
+            return
+        if self.config.manual_load and not self._manual_drain_started:
+            return
+        if queue.depth_bytes > self.config.low_watermark_bytes:
+            return
+        self._loading = True
+        try:
+            budget = self.config.max_outstanding_reads * max(
+                1, len(self.alive_channels)
+            )
+            while (
+                self._outstanding_reads < budget and self._unread_entries() > 0
+            ):
+                if not self._issue_read():
+                    break  # next entry's WRITE hasn't left the switch yet
+        finally:
+            self._loading = False
+        # Entries marked lost (failed channel) or kept across a recovery
+        # may already be releasable without any wire round trip.
+        self._drain_reorder()
+
+    def _unread_entries(self) -> int:
+        return self._regs.read(_WRITE_PTR) - self._regs.read(_NEXT_LOAD_PTR)
+
+    def _issue_read(self) -> bool:
+        """Issue (or resolve) the next READ in pointer order.
+
+        Returns False when the load loop must stop because the entry's
+        WRITE has not been transmitted yet; True otherwise (issued,
+        already completed, or skipped as lost on a failed channel).
+        """
+        load_ptr = self._regs.read(_NEXT_LOAD_PTR)
+        if load_ptr not in self._flushed:
+            return False
+        channel_idx = self._entry_channel[load_ptr]
+        self._regs.write(_NEXT_LOAD_PTR, load_ptr + 1)
+        if load_ptr in self._reorder:
+            # Already completed before a go-back-N recovery; no wire work.
+            return True
+        if channel_idx in self._failed_channels:
+            self._reorder[load_ptr] = None
+            self.stats.lost_to_failover += 1
+            return True
+        # §4: "each load operation fetches a single entire entry regardless
+        # of the original packet size".
+        request = self.read_rocegens[channel_idx].read(
+            self._entry_address[load_ptr], self.config.entry_bytes
+        )
+        psn = request.require(BthHeader).psn
+        self._inflight[channel_idx].append((load_ptr, psn))
+        self._outstanding_reads += 1
+        self._arm_watchdog()
+        return True
+
+    # -- loss recovery (optional, §7 reliability extension) ----------------------
+
+    def _arm_watchdog(self) -> None:
+        if self.config.read_timeout_ns is None or self._watchdog_armed:
+            return
+        self._watchdog_armed = True
+        self._watchdog_snapshot = self._regs.read(_READ_PTR)
+        self.switch.sim.schedule(self.config.read_timeout_ns, self._watchdog)
+
+    def _watchdog(self) -> None:
+        self._watchdog_armed = False
+        if self._outstanding_reads == 0:
+            return
+        if self._regs.read(_READ_PTR) != self._watchdog_snapshot:
+            # Progress was made; keep watching.
+            self._arm_watchdog()
+            return
+        # No READ completed for a full window: assume the chain is lost and
+        # go back to the last committed read pointer.
+        self._recover_reads()
+
+    def _recover_reads(self) -> None:
+        """Go-back-N: restart the read chain from the committed pointer.
+
+        Completed entries already parked in the reorder stage are kept;
+        only in-flight reads are abandoned.  Channels that were stalling
+        accumulate a strike toward failover (§7 robustness).
+        """
+        self.stats.read_recoveries += 1
+        self._outstanding_reads = 0
+        for idx, inflight in enumerate(self._inflight):
+            if inflight:
+                self._strike_channel(idx)
+            inflight.clear()
+        self._regs.write(_NEXT_LOAD_PTR, self._regs.read(_READ_PTR))
+        self._maybe_start_loading(self.switch.port_queue(self.protected_port))
+
+    def _strike_channel(self, idx: int) -> None:
+        if self.config.failover_strikes is None or idx in self._failed_channels:
+            return
+        self._channel_strikes[idx] += 1
+        if self._channel_strikes[idx] >= self.config.failover_strikes:
+            self._fail_channel(idx)
+
+    def _fail_channel(self, idx: int) -> None:
+        """Declare channel *idx* dead: exclude it from striping; entries
+        still waiting on it are abandoned as the reads reach them."""
+        self._failed_channels.add(idx)
+        self._inflight[idx].clear()
+        self.stats.channels_failed += 1
+
+    # -- response handling -----------------------------------------------------------
+
+    def try_handle(self, ctx: PipelineContext, packet: Packet) -> bool:
+        """Consume RoCE responses belonging to this primitive's channels.
+
+        The switch program calls this first in ``on_ingress``; returns True
+        when the packet was a response this primitive handled.
+        """
+        owner = self._owning_channel(packet)
+        if owner is None:
+            return False
+        channel_idx, is_read_qp = owner
+        rocegen = (
+            self.read_rocegens[channel_idx]
+            if is_read_qp
+            else self.rocegens[channel_idx]
+        )
+        opcode = rocegen.classify_response(packet)
+        ctx.drop()  # the response itself never leaves the switch
+        if rocegen.is_nak(packet):
+            # A request was lost: resynchronize that QP's PSN stream.  The
+            # read chain needs a go-back-N restart only when the loss hit
+            # the read QP with reads in flight; lost WRITEs surface later
+            # as stale entry stamps and must not thrash the load path.
+            rocegen.maybe_resync(packet)
+            if is_read_qp and self._inflight[channel_idx]:
+                self._recover_reads()
+            return True
+        if opcode == Opcode.RDMA_READ_RESPONSE_ONLY:
+            self._complete_load(channel_idx, packet)
+        return True
+
+    def _owning_channel(self, packet: Packet):
+        """Return (channel index, rode-the-read-QP) for our responses."""
+        bth = packet.find(BthHeader)
+        if bth is None:
+            return None
+        for i, channel in enumerate(self.channels):
+            if bth.dest_qp == channel.switch_qp.qpn:
+                return i, False
+        if self.read_channels is not self.channels:
+            for i, channel in enumerate(self.read_channels):
+                if bth.dest_qp == channel.switch_qp.qpn:
+                    return i, True
+        return None
+
+    def _complete_load(self, channel_idx: int, response: Packet) -> None:
+        psn = response.require(BthHeader).psn
+        inflight = self._inflight[channel_idx]
+        if not inflight or inflight[0][1] != psn:
+            # Stale response from a chain that has since been recovered.
+            return
+        pointer, _ = inflight.popleft()
+        self._outstanding_reads = max(0, self._outstanding_reads - 1)
+        self._channel_strikes[channel_idx] = 0  # the channel is alive
+        if pointer < self._regs.read(_READ_PTR):
+            # A pre-recovery duplicate of an already-released entry.
+            return
+        entry = response.payload
+        (stamp,) = struct.unpack("!Q", entry[:ENTRY_SEQ_BYTES])
+        if stamp == pointer:
+            original = Packet.parse(entry[ENTRY_SEQ_BYTES:])
+            original.meta.update(self._meta_by_index.get(pointer, {}))
+            self._reorder[pointer] = original
+        else:
+            # Stale stamp: the WRITE for this slot was lost on the wire, so
+            # the original packet is gone (best-effort semantics, §7).
+            self._reorder[pointer] = None
+            self.stats.lost_in_transit += 1
+        self.stats.reorder_peak = max(self.stats.reorder_peak, len(self._reorder))
+        self._drain_reorder()
+        if self.stored_entries > 0:
+            # §4: the received READ response triggers the next READ.
+            self._maybe_start_loading(
+                self.switch.port_queue(self.protected_port)
+            )
+
+    def _drain_reorder(self) -> None:
+        """Move consecutive completed entries into the egress queue.
+
+        Pure release: never re-enters the load loop (callers decide
+        whether to chain the next READ), so release and load cannot
+        mutually recurse.
+        """
+        queue = self.switch.port_queue(self.protected_port)
+        released = False
+        while True:
+            read_ptr = self._regs.read(_READ_PTR)
+            if read_ptr not in self._reorder:
+                break
+            original = self._reorder.pop(read_ptr)
+            self._meta_by_index.pop(read_ptr, None)
+            self._flushed.discard(read_ptr)
+            channel_idx = self._entry_channel.pop(read_ptr, None)
+            self._entry_address.pop(read_ptr, None)
+            if channel_idx is not None:
+                # The ring slot is reusable once its entry is retired.
+                self._channel_unread[channel_idx] -= 1
+            self._regs.write(_READ_PTR, read_ptr + 1)
+            if original is not None:
+                self.stats.loaded_packets += 1
+                self.stats.loaded_bytes += original.buffer_len
+                # Re-inject into the protected egress queue, bypassing the
+                # hook so the loaded packet is not diverted again.
+                queue.enqueue_direct(original)
+                released = True
+        if released:
+            self.switch.port_interface(self.protected_port).kick()
+        if self.stored_entries == 0 and not self._reorder:
+            # Rings fully drained: leave buffering mode (order preserved).
+            self._regs.write(_BUFFERING, 0)

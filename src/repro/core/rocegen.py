@@ -1,0 +1,169 @@
+"""Data-plane RoCE request generation — the shared "primitive action" core.
+
+On hardware this is the 1400 lines of P4 from §5: adding RoCE headers on
+top of original or cloned packets, filling in QPN / rkey / addresses from
+control-plane-installed registers, and parsing responses coming back from
+the RNIC.  All three primitives (§4) are built on this class.
+
+The generator also keeps the per-channel statistics the evaluation needs
+(request counts, request/response wire bytes), so experiments measure
+overhead from actual packet sizes rather than assumed constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net.packet import Packet
+from ..rdma.constants import AethSyndrome, Opcode
+from ..rdma.headers import AethHeader, AtomicAckEthHeader, BthHeader
+from ..rdma.packets import (
+    build_fetch_add_request,
+    build_read_request,
+    build_write_request,
+)
+from ..switches.switch import ProgrammableSwitch
+from .channel import RemoteMemoryChannel
+
+
+@dataclass
+class RoceGenStats:
+    writes_issued: int = 0
+    reads_issued: int = 0
+    fetch_adds_issued: int = 0
+    responses_handled: int = 0
+    naks_received: int = 0
+    request_wire_bytes: int = 0
+    response_wire_bytes: int = 0
+
+
+class RoceRequestGenerator:
+    """Craft and transmit RoCE requests for one channel from the data plane."""
+
+    def __init__(
+        self, switch: ProgrammableSwitch, channel: RemoteMemoryChannel
+    ) -> None:
+        self.switch = switch
+        self.channel = channel
+        self.stats = RoceGenStats()
+
+    # -- request crafting ---------------------------------------------------------
+
+    def write(
+        self,
+        remote_address: int,
+        data: bytes,
+        ack_request: bool = False,
+        meta: Optional[dict] = None,
+    ) -> Packet:
+        """Issue an RDMA WRITE of *data*; returns the transmitted packet.
+
+        ``meta`` entries are attached to the request *before* it is handed
+        to the port (an idle port serializes synchronously, so tagging the
+        returned packet afterwards is too late for transmit-time hooks).
+        """
+        self._check_range(remote_address, len(data))
+        request = build_write_request(
+            self.channel.switch_qp,
+            remote_address,
+            self.channel.rkey,
+            data,
+            ack_request=ack_request,
+        )
+        if meta:
+            request.meta.update(meta)
+        self.stats.writes_issued += 1
+        self._transmit(request)
+        return request
+
+    def read(self, remote_address: int, length: int) -> Packet:
+        """Issue an RDMA READ of *length* bytes; returns the packet."""
+        self._check_range(remote_address, length)
+        request = build_read_request(
+            self.channel.switch_qp,
+            remote_address,
+            self.channel.rkey,
+            length,
+        )
+        self.stats.reads_issued += 1
+        self._transmit(request)
+        return request
+
+    def fetch_add(
+        self, remote_address: int, value: int, psn: Optional[int] = None
+    ) -> Packet:
+        """Issue an atomic Fetch-and-Add of *value*; returns the packet.
+
+        Pass an explicit *psn* to retransmit a lost request verbatim — the
+        responder's atomic replay cache answers duplicates without
+        re-applying them.
+        """
+        self._check_range(remote_address, 8)
+        request = build_fetch_add_request(
+            self.channel.switch_qp,
+            remote_address,
+            self.channel.rkey,
+            value,
+            psn=psn,
+        )
+        self.stats.fetch_adds_issued += 1
+        self._transmit(request)
+        return request
+
+    def _check_range(self, remote_address: int, size: int) -> None:
+        if (
+            remote_address < self.channel.base_address
+            or remote_address + size > self.channel.end_address
+        ):
+            raise ValueError(
+                f"address range [{remote_address:#x}, "
+                f"{remote_address + size:#x}) outside channel "
+                f"{self.channel.name!r}"
+            )
+
+    def _transmit(self, request: Packet) -> None:
+        self.stats.request_wire_bytes += request.wire_len
+        self.switch.transmit(request, self.channel.server_port)
+
+    # -- response handling ----------------------------------------------------------
+
+    def owns_response(self, packet: Packet) -> bool:
+        """Is *packet* a RoCE response addressed to this channel's QP?"""
+        bth = packet.find(BthHeader)
+        return bth is not None and bth.dest_qp == self.channel.switch_qp.qpn
+
+    def classify_response(self, packet: Packet) -> Opcode:
+        """Account for a response and return its opcode; NAKs are counted."""
+        bth = packet.require(BthHeader)
+        self.stats.responses_handled += 1
+        self.stats.response_wire_bytes += packet.wire_len
+        aeth = packet.find(AethHeader)
+        if aeth is not None and AethSyndrome.is_nak(aeth.syndrome):
+            self.stats.naks_received += 1
+        return Opcode(bth.opcode)
+
+    @staticmethod
+    def is_nak(packet: Packet) -> bool:
+        aeth = packet.find(AethHeader)
+        return aeth is not None and AethSyndrome.is_nak(aeth.syndrome)
+
+    def maybe_resync(self, packet: Packet) -> bool:
+        """Resynchronize the soft QP after a PSN-sequence-error NAK.
+
+        Lost requests desynchronize the switch's next PSN from the RNIC's
+        expected PSN, after which every request would be NAKed.  The NAK
+        carries the expected PSN in its BTH; adopting it re-establishes the
+        connection (the data-plane analogue of requester retransmission).
+        Returns True when a resync happened.
+        """
+        aeth = packet.find(AethHeader)
+        if aeth is None or aeth.syndrome != AethSyndrome.NAK_PSN_SEQUENCE_ERROR:
+            return False
+        self.channel.switch_qp.next_psn = packet.require(BthHeader).psn
+        return True
+
+    @staticmethod
+    def atomic_result(packet: Packet) -> int:
+        """Extract the pre-add value from an atomic acknowledgement."""
+        return packet.require(AtomicAckEthHeader).original_data

@@ -1,0 +1,324 @@
+"""The state-store primitive (§4).
+
+Maintains large arrays of stateful objects — here per-flow packet (or
+byte) counters — in remote DRAM via RDMA atomic Fetch-and-Add.
+
+The critical hardware constraint (§4): "Since there is a maximum limit of
+outstanding RDMA atomic requests that an RNIC can handle, we design this
+primitive to maintain the number of outstanding requests and issue a
+Fetch-and-Add request only if there is a room to issue more requests.
+Otherwise, it accumulates the counter value and uses the accumulated value
+when it can issue a new operation."
+
+The outstanding-request count lives in a data-plane register; the
+accumulators are a register-array keyed by counter index.  Batch combining
+of k updates per operation (§7's bandwidth-reduction extension) is a
+config knob exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..net.packet import Packet
+from ..rdma.constants import ATOMIC_OPERAND_BYTES, Opcode, psn_distance
+from ..rdma.headers import BthHeader
+from ..switches.hashing import FiveTuple
+from ..switches.pipeline import PipelineContext
+from ..switches.registers import RegisterArray
+from ..switches.switch import ProgrammableSwitch
+from .channel import RemoteMemoryChannel
+from .rocegen import RoceRequestGenerator
+
+#: Register index of the outstanding-operation count.
+_OUTSTANDING = 0
+
+
+@dataclass
+class StateStoreConfig:
+    """Geometry and pacing of the remote state store."""
+
+    #: Number of 8-byte counters in the remote region.
+    counters: int = 1 << 20
+    #: Cap on in-flight Fetch-and-Adds; must not exceed what the RNIC's
+    #: atomic engine absorbs (RnicConfig.max_outstanding_atomics).
+    max_outstanding: int = 16
+    #: Combine at least this many updates per operation (§7 extension;
+    #: 1 = issue per packet when there is room).
+    batch_size: int = 1
+    #: Sampling predicate; None counts every packet.
+    sample: Optional[Callable[[Packet], bool]] = None
+    #: Value added per packet: "packets" or "bytes".
+    count_mode: str = "packets"
+    #: §7 reliability extension: track ACK/NAK per operation and
+    #: retransmit lost requests with their original PSN.  Exactly-once
+    #: semantics come from the RNIC's atomic replay cache: a duplicate
+    #: Fetch-and-Add (ours after a lost *response*) is answered from the
+    #: cache instead of being applied twice.
+    reliable: bool = False
+    #: Retransmission check period in reliable mode.
+    retry_timeout_ns: float = 100_000.0
+
+
+@dataclass
+class StateStoreStats:
+    sampled_packets: int = 0
+    operations_issued: int = 0
+    updates_combined: int = 0
+    acks_received: int = 0
+    naks_received: int = 0
+    #: Sum of values carried by issued operations (for accuracy checks).
+    value_issued: int = 0
+    #: Reliable mode: same-PSN retransmissions after a timeout.
+    retransmissions: int = 0
+    #: Reliable mode: operations re-queued after a NAK said they were
+    #: rejected by the responder.
+    requeued_after_nak: int = 0
+
+
+class RemoteStateStore:
+    """Data-plane component: remote per-flow counters via Fetch-and-Add."""
+
+    def __init__(
+        self,
+        switch: ProgrammableSwitch,
+        channel: RemoteMemoryChannel,
+        config: Optional[StateStoreConfig] = None,
+    ) -> None:
+        self.switch = switch
+        self.channel = channel
+        self.config = config if config is not None else StateStoreConfig()
+        if self.config.count_mode not in ("packets", "bytes"):
+            raise ValueError(f"unknown count mode: {self.config.count_mode!r}")
+        if self.config.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.config.max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+        needed = self.config.counters * ATOMIC_OPERAND_BYTES
+        if needed > channel.length:
+            raise ValueError(
+                f"{self.config.counters} counters need {needed} B, channel "
+                f"has {channel.length} B"
+            )
+        self.stats = StateStoreStats()
+        self.rocegen = RoceRequestGenerator(switch, channel)
+        self._regs = RegisterArray("statestore", 1, width_bits=16)
+        # Pending (not yet issued) accumulated values by counter index.
+        # On hardware this is a register array indexed by counter index;
+        # FIFO order keeps flushing fair.
+        self._accumulators: "OrderedDict[int, int]" = OrderedDict()
+        # Reliable mode: in-flight operations (psn, index, value), oldest
+        # first, plus the retransmission watchdog state.
+        self._inflight_ops: "OrderedDict[int, tuple]" = OrderedDict()
+        self._retry_armed = False
+        self._retry_snapshot: Optional[int] = None
+
+    # -- addressing ----------------------------------------------------------------
+
+    def index_of(self, packet: Packet) -> int:
+        return FiveTuple.of(packet).hash() % self.config.counters
+
+    def counter_address(self, index: int) -> int:
+        return self.channel.base_address + index * ATOMIC_OPERAND_BYTES
+
+    # -- data plane -----------------------------------------------------------------
+
+    def on_packet(self, ctx: PipelineContext, packet: Packet) -> None:
+        """Count *packet* (called from the program's ingress/egress).
+
+        On hardware this clones the packet, truncates it, and rewrites the
+        clone into a Fetch-and-Add request (§4); the original proceeds
+        through the pipeline untouched, which is why this method never
+        alters ``ctx``.
+        """
+        if self.config.sample is not None and not self.config.sample(packet):
+            return
+        self.stats.sampled_packets += 1
+        value = 1 if self.config.count_mode == "packets" else packet.buffer_len
+        self.update(self.index_of(packet), value)
+
+    def update(self, index: int, value: int) -> None:
+        """Add *value* to counter *index*, respecting the outstanding cap.
+
+        Public so that richer telemetry structures (e.g. the remote
+        sketches in :mod:`repro.apps.sketch`) can drive arbitrary counter
+        indices through the same pacing and accumulation machinery.
+        """
+        if not 0 <= index < self.config.counters:
+            raise IndexError(f"counter index {index} out of range")
+        pending = self._accumulators.get(index, 0) + value
+        # Batch readiness uses the magnitude so negative (Count Sketch)
+        # deltas flush too; a zero net change needs no operation at all.
+        if (
+            self.outstanding < self.config.max_outstanding
+            and abs(pending) >= self.config.batch_size
+        ):
+            self._accumulators.pop(index, None)
+            self._issue(index, pending)
+        else:
+            # No room (or batch not full): accumulate locally, flush later.
+            self._accumulators[index] = pending
+            if pending > value:
+                self.stats.updates_combined += 1
+
+    def _issue(self, index: int, value: int) -> None:
+        # Negative deltas (Count Sketch's ±1 updates) ride as two's
+        # complement: Fetch-and-Add is modulo 2^64 on both ends.
+        request = self.rocegen.fetch_add(
+            self.counter_address(index), value % (1 << 64)
+        )
+        if self.config.reliable:
+            psn = request.require(BthHeader).psn
+            self._inflight_ops[psn] = (index, value)
+            self._arm_retry()
+        self._regs.add(_OUTSTANDING, 1)
+        self.stats.operations_issued += 1
+        self.stats.value_issued += value
+
+    # -- response path ---------------------------------------------------------------
+
+    def try_handle(self, ctx: PipelineContext, packet: Packet) -> bool:
+        """Consume atomic acknowledgements; True when handled."""
+        if not self.rocegen.owns_response(packet):
+            return False
+        ctx.drop()
+        opcode = self.rocegen.classify_response(packet)
+        if opcode not in (Opcode.ATOMIC_ACKNOWLEDGE, Opcode.ACKNOWLEDGE):
+            return True
+        if self.rocegen.is_nak(packet):
+            self.stats.naks_received += 1
+            if self.config.reliable:
+                # Go-back-N: retransmit rejected operations with their
+                # original PSNs (never resync backwards — reusing a PSN for
+                # a *different* operation would let the replay cache
+                # swallow it).
+                self._handle_nak_reliable(packet)
+            else:
+                # Best-effort: the operation's value is lost; resync the
+                # PSN stream so later operations are not rejected too.
+                self.rocegen.maybe_resync(packet)
+        elif self.config.reliable:
+            self.stats.acks_received += 1
+            self._ack_through(packet.require(BthHeader).psn)
+        else:
+            self.stats.acks_received += 1
+        if not self.config.reliable:
+            self._regs.write(
+                _OUTSTANDING, max(0, self._regs.read(_OUTSTANDING) - 1)
+            )
+        self._flush()
+        return True
+
+    # -- reliable-mode machinery (§7 extension) ---------------------------------
+
+    def _ack_through(self, psn: int) -> None:
+        """Retire every in-flight op at or before *psn* (RC is in order)."""
+        retired = [
+            p
+            for p in self._inflight_ops
+            if psn_distance(p, psn) < (1 << 23)
+        ]
+        for p in retired:
+            del self._inflight_ops[p]
+        self._regs.write(_OUTSTANDING, len(self._inflight_ops))
+
+    def _handle_nak_reliable(self, packet: Packet) -> None:
+        """A NAK names the first rejected PSN: ops before it executed, ops
+        from it on never did — retransmit them verbatim, in PSN order.
+
+        Retransmission keeps each operation bound to its original PSN, so
+        a stale NAK (several queue up during one loss event) only causes
+        harmless duplicate retransmissions that the responder's replay
+        cache absorbs.
+        """
+        expected = packet.require(BthHeader).psn
+        for p in list(self._inflight_ops):
+            if psn_distance(expected, p) >= (1 << 23):
+                # p < expected: already executed; its response may have
+                # been lost, but the count is safely applied.
+                del self._inflight_ops[p]
+        for p, (index, value) in self._inflight_ops.items():
+            self.rocegen.fetch_add(
+                self.counter_address(index), value % (1 << 64), psn=p
+            )
+            self.stats.requeued_after_nak += 1
+        self._regs.write(_OUTSTANDING, len(self._inflight_ops))
+
+    def _arm_retry(self) -> None:
+        if self._retry_armed:
+            return
+        self._retry_armed = True
+        self._retry_snapshot = next(iter(self._inflight_ops), None)
+        self.switch.sim.schedule(self.config.retry_timeout_ns, self._retry_check)
+
+    def _retry_check(self) -> None:
+        self._retry_armed = False
+        if not self._inflight_ops:
+            return
+        head = next(iter(self._inflight_ops))
+        if head != self._retry_snapshot:
+            self._arm_retry()
+            return
+        # The oldest operation saw no progress for a full window: its
+        # request or response was lost.  Retransmit verbatim (same PSN);
+        # the RNIC's replay cache makes this idempotent.
+        index, value = self._inflight_ops[head]
+        self.rocegen.fetch_add(
+            self.counter_address(index), value % (1 << 64), psn=head
+        )
+        self.stats.retransmissions += 1
+        self._arm_retry()
+
+    def _flush(self) -> None:
+        """Issue accumulated updates while the outstanding window has room.
+
+        Only full batches flush automatically; a partial batch stays local
+        (§7's "at the cost of some delay in updates").  Operators drain
+        leftovers with :meth:`flush_all`.
+        """
+        while self._regs.read(_OUTSTANDING) < self.config.max_outstanding:
+            ready = next(
+                (
+                    index
+                    for index, value in self._accumulators.items()
+                    if abs(value) >= self.config.batch_size
+                ),
+                None,
+            )
+            if ready is None:
+                return
+            self._issue(ready, self._accumulators.pop(ready))
+
+    def flush_all(self) -> None:
+        """Force-issue every accumulated update (ignores batch_size).
+
+        Values beyond the outstanding window stay pending and drain as
+        acknowledgements return; call again (or keep the sim running) to
+        complete the drain.
+        """
+        while (
+            self._accumulators
+            and self._regs.read(_OUTSTANDING) < self.config.max_outstanding
+        ):
+            index, value = self._accumulators.popitem(last=False)
+            self._issue(index, value)
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        return self._regs.read(_OUTSTANDING)
+
+    @property
+    def pending_value(self) -> int:
+        """Locally accumulated value not yet issued."""
+        return sum(self._accumulators.values())
+
+    def read_counter_via_control_plane(self, index: int) -> int:
+        """Operator-side counter read (estimation algorithms run here, §4)."""
+        raw = self.channel.region.read(
+            self.counter_address(index), ATOMIC_OPERAND_BYTES
+        )
+        return int.from_bytes(raw, "big")

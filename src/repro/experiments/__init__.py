@@ -1,0 +1,65 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+One module per result:
+
+* :mod:`.fig3a`              — latency overhead of the lookup primitive
+* :mod:`.fig3b`              — bandwidth overhead of the state store
+* :mod:`.packet_buffer_rate` — §5 lossless store/forward rates
+* :mod:`.incast`             — §2.1 / Fig. 1a incast comparison
+* :mod:`.overhead`           — §4 RoCE header overhead table
+* :mod:`.baremetal`          — §2.2 / Fig. 1b VIP→PIP translation
+* :mod:`.telemetry`          — §2.3 / Fig. 1c sketch/counter scaling
+* :mod:`.kv_cache`           — §2.2/§6 in-network KV cache study
+* :mod:`.persistent_congestion` — §2.1 bursts-vs-persistence with ECN
+* :mod:`.ablations`          — §7 design-choice ablations
+"""
+
+from .ablations import (
+    run_batching_ablation,
+    run_priority_ablation,
+    run_cache_ablation,
+    run_drop_ablation,
+    run_mode_ablation,
+    run_window_ablation,
+)
+from .baremetal import run_baremetal, run_baremetal_comparison
+from .fig3a import run_fig3a
+from .fig3b import run_fig3b
+from .incast import run_incast, run_incast_comparison
+from .kv_cache import run_kv_cache, run_kv_cache_comparison
+from .overhead import run_overhead
+from .packet_buffer_rate import run_packet_buffer_rate, run_store_load_point
+from .persistent_congestion import (
+    run_persistent_congestion,
+    run_persistent_congestion_comparison,
+)
+from .sequencer import run_sequencer_point, run_sequencer_throughput
+from .telemetry import run_telemetry
+from .topology import Testbed, build_testbed
+
+__all__ = [
+    "Testbed",
+    "build_testbed",
+    "run_baremetal",
+    "run_baremetal_comparison",
+    "run_batching_ablation",
+    "run_cache_ablation",
+    "run_drop_ablation",
+    "run_fig3a",
+    "run_fig3b",
+    "run_incast",
+    "run_incast_comparison",
+    "run_kv_cache",
+    "run_kv_cache_comparison",
+    "run_mode_ablation",
+    "run_overhead",
+    "run_priority_ablation",
+    "run_packet_buffer_rate",
+    "run_persistent_congestion",
+    "run_persistent_congestion_comparison",
+    "run_store_load_point",
+    "run_sequencer_point",
+    "run_sequencer_throughput",
+    "run_telemetry",
+    "run_window_ablation",
+]

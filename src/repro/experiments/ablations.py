@@ -1,0 +1,578 @@
+"""§7 ablations: the design choices the paper leaves open, quantified.
+
+1. **Fetch-and-Add batching** — combine k counter updates per atomic op
+   ("to reduce the bandwidth overhead ... combine multiple counter
+   updates into a single operation, at the cost of some delay").
+2. **Outstanding-atomics window** — the switch must track RNIC progress;
+   exceeding the RNIC's limit drops requests.
+3. **SRAM cache size** — hit rate and latency of the remote lookup table
+   as the local cache grows (§2.2's "local memory serves as cache").
+4. **Bounce vs recirculate** — §7's alternative lookup design that holds
+   the packet locally and READs only the action, trading recirculation
+   passes for remote bandwidth.
+5. **RDMA drop sensitivity** — state-store accuracy under lossy links,
+   best-effort vs the NAK-resync machinery.
+6. **RDMA prioritization** — §7's "prioritize these RDMA packets so that
+   they are less likely to be dropped": strict priority + reserved buffer
+   headroom under a congested memory-server port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..analysis.reporting import format_table
+from ..apps.programs import CountingProgram, RemoteLookupProgram
+from ..core.lookup_table import (
+    ACTION_SET_DSCP,
+    LookupTableConfig,
+    RemoteAction,
+    RemoteLookupTable,
+)
+from ..core.state_store import RemoteStateStore, StateStoreConfig
+from ..rdma.constants import ATOMIC_OPERAND_BYTES
+from ..rdma.rnic import RnicConfig
+from ..sim.units import gbps, to_usec
+from ..switches.hashing import FiveTuple
+from ..workloads.factory import udp_between
+from ..workloads.flows import ZipfFlowWorkload
+from ..workloads.perftest import RawEthernetBw
+from .topology import build_testbed
+
+
+# -- 1. Fetch-and-Add batching -------------------------------------------------
+
+@dataclass
+class BatchingResult:
+    batch_size: int
+    packets: int
+    operations: int
+    request_bytes: int
+    counted_remotely: int
+    pending_locally: int
+
+    @property
+    def ops_per_packet(self) -> float:
+        return self.operations / self.packets if self.packets else 0.0
+
+
+def run_batching_ablation(
+    batch_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    packets: int = 4000,
+) -> List[BatchingResult]:
+    results = []
+    for batch in batch_sizes:
+        tb = build_testbed(n_hosts=2)
+        program = CountingProgram()
+        for host, port in zip(tb.hosts, tb.host_ports):
+            program.install(host.eth.mac, port)
+        tb.switch.bind_program(program)
+        config = StateStoreConfig(counters=1 << 12, batch_size=batch)
+        channel = tb.controller.open_channel(
+            tb.memory_server, tb.server_port,
+            config.counters * ATOMIC_OPERAND_BYTES,
+        )
+        store = RemoteStateStore(tb.switch, channel, config=config)
+        program.use_state_store(store)
+        gen = RawEthernetBw(
+            tb.sim, tb.hosts[0], tb.hosts[1],
+            packet_size=256, rate_bps=gbps(40), count=packets,
+        )
+        gen.start()
+        tb.sim.run()
+        packet = udp_between(tb.hosts[0], tb.hosts[1], 256)
+        counted = store.read_counter_via_control_plane(store.index_of(packet))
+        results.append(
+            BatchingResult(
+                batch_size=batch,
+                packets=packets,
+                operations=store.stats.operations_issued,
+                request_bytes=store.rocegen.stats.request_wire_bytes,
+                counted_remotely=counted,
+                pending_locally=store.pending_value,
+            )
+        )
+    return results
+
+
+def format_batching(results: Sequence[BatchingResult]) -> str:
+    return format_table(
+        ["batch", "F&A ops", "ops/packet", "request bytes", "remote count", "pending"],
+        [
+            [
+                r.batch_size,
+                r.operations,
+                f"{r.ops_per_packet:.3f}",
+                r.request_bytes,
+                r.counted_remotely,
+                r.pending_locally,
+            ]
+            for r in results
+        ],
+        title="§7 ablation — combining counter updates per Fetch-and-Add",
+    )
+
+
+# -- 2. outstanding-atomics window ----------------------------------------------
+
+@dataclass
+class WindowResult:
+    window: int
+    rnic_limit: int
+    packets: int
+    counted_remotely: int
+    pending_locally: int
+    rnic_overflow_drops: int
+
+    @property
+    def accurate(self) -> bool:
+        return self.counted_remotely + self.pending_locally == self.packets
+
+
+def run_window_ablation(
+    windows: Sequence[int] = (1, 4, 16, 64),
+    rnic_limit: int = 16,
+    packets: int = 3000,
+) -> List[WindowResult]:
+    """Sweep the switch's outstanding cap across the RNIC's real limit.
+
+    Beyond ``rnic_limit`` the RNIC atomic engine overflows and silently
+    drops requests — counts are lost.  This is exactly why §4 makes the
+    switch track outstanding requests.
+    """
+    results = []
+    for window in windows:
+        tb = build_testbed(
+            n_hosts=2,
+            rnic_config=RnicConfig(max_outstanding_atomics=rnic_limit),
+        )
+        program = CountingProgram()
+        for host, port in zip(tb.hosts, tb.host_ports):
+            program.install(host.eth.mac, port)
+        tb.switch.bind_program(program)
+        config = StateStoreConfig(counters=1 << 12, max_outstanding=window)
+        channel = tb.controller.open_channel(
+            tb.memory_server, tb.server_port,
+            config.counters * ATOMIC_OPERAND_BYTES,
+        )
+        store = RemoteStateStore(tb.switch, channel, config=config)
+        program.use_state_store(store)
+        gen = RawEthernetBw(
+            tb.sim, tb.hosts[0], tb.hosts[1],
+            packet_size=256, rate_bps=gbps(40), count=packets,
+        )
+        gen.start()
+        tb.sim.run()
+        packet = udp_between(tb.hosts[0], tb.hosts[1], 256)
+        results.append(
+            WindowResult(
+                window=window,
+                rnic_limit=rnic_limit,
+                packets=packets,
+                counted_remotely=store.read_counter_via_control_plane(
+                    store.index_of(packet)
+                ),
+                pending_locally=store.pending_value,
+                rnic_overflow_drops=(
+                    tb.memory_server.rnic.stats.atomic_overflow_drops
+                ),
+            )
+        )
+    return results
+
+
+def format_window(results: Sequence[WindowResult]) -> str:
+    return format_table(
+        ["window", "RNIC limit", "remote count", "pending", "RNIC drops", "accurate"],
+        [
+            [
+                r.window,
+                r.rnic_limit,
+                r.counted_remotely,
+                r.pending_locally,
+                r.rnic_overflow_drops,
+                "yes" if r.accurate else "NO",
+            ]
+            for r in results
+        ],
+        title="§7 ablation — outstanding-atomics window vs RNIC limit",
+    )
+
+
+# -- 3. lookup cache size ----------------------------------------------------------
+
+@dataclass
+class CacheResult:
+    cache_entries: int
+    packets: int
+    hit_rate: float
+    remote_lookups: int
+    median_latency_us: float
+
+
+def run_cache_ablation(
+    cache_sizes: Sequence[int] = (0, 64, 256, 1024, 4096),
+    flows: int = 4096,
+    packets: int = 4000,
+    alpha: float = 1.0,
+    seed: int = 0,
+) -> List[CacheResult]:
+    from ..analysis.stats import percentile
+
+    results = []
+    for cache_entries in cache_sizes:
+        tb = build_testbed(n_hosts=2)
+        program = RemoteLookupProgram()
+        for host, port in zip(tb.hosts, tb.host_ports):
+            program.install(host.eth.mac, port)
+        tb.switch.bind_program(program)
+        config = LookupTableConfig(
+            entries=1 << 15, cache_entries=cache_entries
+        )
+        channel = tb.controller.open_channel(
+            tb.memory_server, tb.server_port,
+            config.entries * config.entry_bytes,
+        )
+        table = RemoteLookupTable(tb.switch, channel, config=config)
+        program.use_lookup_table(table)
+
+        workload = ZipfFlowWorkload(
+            tb.sim, tb.hosts[0], tb.hosts[1],
+            flows=flows, alpha=alpha, packet_size=256,
+            rate_bps=gbps(2), count=packets, seed=seed,
+        )
+        # Install a DSCP action for every flow the workload may use.
+        for rank in range(flows):
+            key = workload.flow_key(rank)
+            table.install(
+                FiveTuple(
+                    src_ip=tb.hosts[0].eth.ip.value,
+                    dst_ip=tb.hosts[1].eth.ip.value,
+                    protocol=17,
+                    src_port=key.src_port,
+                    dst_port=key.dst_port,
+                ),
+                RemoteAction(ACTION_SET_DSCP, rank % 64),
+            )
+        latencies: List[float] = []
+        tb.hosts[1].packet_handlers.append(
+            lambda p, i: latencies.append(tb.sim.now - p.meta["sent_at"])
+            if "sent_at" in p.meta
+            else None
+        )
+        workload.start()
+        tb.sim.run()
+        total = table.stats.local_hits + table.stats.remote_lookups
+        results.append(
+            CacheResult(
+                cache_entries=cache_entries,
+                packets=packets,
+                hit_rate=table.stats.local_hits / total if total else 0.0,
+                remote_lookups=table.stats.remote_lookups,
+                median_latency_us=(
+                    to_usec(percentile(latencies, 50)) if latencies else 0.0
+                ),
+            )
+        )
+    return results
+
+
+def format_cache(results: Sequence[CacheResult]) -> str:
+    return format_table(
+        ["cache entries", "hit rate", "remote lookups", "median latency (us)"],
+        [
+            [
+                r.cache_entries,
+                f"{r.hit_rate * 100:.1f}%",
+                r.remote_lookups,
+                f"{r.median_latency_us:.2f}",
+            ]
+            for r in results
+        ],
+        title="§2.2 ablation — local SRAM cache size for the remote table",
+    )
+
+
+# -- 4. bounce vs recirculate ---------------------------------------------------------
+
+@dataclass
+class ModeResult:
+    mode: str
+    packets: int
+    remote_request_bytes: int
+    recirculation_passes: int
+    median_latency_us: float
+
+
+def run_mode_ablation(
+    packets: int = 1500, packet_size: int = 512, seed: int = 0
+) -> List[ModeResult]:
+    from ..analysis.stats import percentile
+
+    results = []
+    for mode in ("bounce", "recirculate"):
+        tb = build_testbed(n_hosts=2)
+        program = RemoteLookupProgram()
+        for host, port in zip(tb.hosts, tb.host_ports):
+            program.install(host.eth.mac, port)
+        tb.switch.bind_program(program)
+        config = LookupTableConfig(
+            entries=1 << 12, cache_entries=0, mode=mode
+        )
+        channel = tb.controller.open_channel(
+            tb.memory_server, tb.server_port,
+            config.entries * config.entry_bytes,
+        )
+        table = RemoteLookupTable(tb.switch, channel, config=config)
+        program.use_lookup_table(table)
+        flow = FiveTuple(
+            src_ip=tb.hosts[0].eth.ip.value,
+            dst_ip=tb.hosts[1].eth.ip.value,
+            protocol=17,
+            src_port=10_000,
+            dst_port=20_000,
+        )
+        table.install(flow, RemoteAction(ACTION_SET_DSCP, 30))
+        latencies: List[float] = []
+        tb.hosts[1].packet_handlers.append(
+            lambda p, i: latencies.append(tb.sim.now - p.meta["sent_at"])
+            if "sent_at" in p.meta
+            else None
+        )
+        gen = RawEthernetBw(
+            tb.sim, tb.hosts[0], tb.hosts[1],
+            packet_size=packet_size, rate_bps=gbps(5), count=packets,
+        )
+        gen.start()
+        tb.sim.run()
+        results.append(
+            ModeResult(
+                mode=mode,
+                packets=packets,
+                remote_request_bytes=table.rocegen.stats.request_wire_bytes,
+                recirculation_passes=table.stats.recirculation_passes,
+                median_latency_us=(
+                    to_usec(percentile(latencies, 50)) if latencies else 0.0
+                ),
+            )
+        )
+    return results
+
+
+def format_mode(results: Sequence[ModeResult]) -> str:
+    return format_table(
+        ["mode", "remote request bytes", "recirc passes", "median latency (us)"],
+        [
+            [
+                r.mode,
+                r.remote_request_bytes,
+                r.recirculation_passes,
+                f"{r.median_latency_us:.2f}",
+            ]
+            for r in results
+        ],
+        title="§7 ablation — packet bounce vs local recirculation",
+    )
+
+
+# -- 5. drop sensitivity ----------------------------------------------------------------
+
+@dataclass
+class DropResult:
+    loss_probability: float
+    reliable: bool
+    packets: int
+    counted_remotely: int
+    naks_seen: int
+    retransmissions: int
+
+    @property
+    def count_error_rate(self) -> float:
+        if self.packets == 0:
+            return 0.0
+        return abs(self.packets - self.counted_remotely) / self.packets
+
+
+def run_drop_ablation(
+    loss_probabilities: Sequence[float] = (0.0, 0.001, 0.01, 0.05),
+    packets: int = 3000,
+    modes: Sequence[bool] = (False, True),
+) -> List[DropResult]:
+    """State-store accuracy under a lossy switch↔server link (§7).
+
+    Runs best-effort mode (the paper's prototype: a drop "would affect the
+    accuracy of the state") and the §7 reliability extension (ACK/NAK
+    handling + same-PSN retransmission: exact counts despite drops).
+    """
+    results = []
+    for reliable in modes:
+        for loss in loss_probabilities:
+            tb = build_testbed(n_hosts=2)
+            tb.server_link.loss_probability = loss
+            program = CountingProgram()
+            for host, port in zip(tb.hosts, tb.host_ports):
+                program.install(host.eth.mac, port)
+            tb.switch.bind_program(program)
+            config = StateStoreConfig(counters=1 << 12, reliable=reliable)
+            channel = tb.controller.open_channel(
+                tb.memory_server, tb.server_port,
+                config.counters * ATOMIC_OPERAND_BYTES,
+            )
+            store = RemoteStateStore(tb.switch, channel, config=config)
+            program.use_state_store(store)
+            gen = RawEthernetBw(
+                tb.sim, tb.hosts[0], tb.hosts[1],
+                packet_size=256, rate_bps=gbps(40), count=packets,
+            )
+            gen.start()
+            tb.sim.run(max_events=5_000_000)
+            packet = udp_between(tb.hosts[0], tb.hosts[1], 256)
+            results.append(
+                DropResult(
+                    loss_probability=loss,
+                    reliable=reliable,
+                    packets=packets,
+                    counted_remotely=store.read_counter_via_control_plane(
+                        store.index_of(packet)
+                    ),
+                    naks_seen=store.stats.naks_received,
+                    retransmissions=(
+                        store.stats.retransmissions
+                        + store.stats.requeued_after_nak
+                    ),
+                )
+            )
+    return results
+
+
+def format_drops(results: Sequence[DropResult]) -> str:
+    return format_table(
+        ["mode", "loss prob", "sent", "remote count", "count error", "NAKs", "retx"],
+        [
+            [
+                "reliable" if r.reliable else "best-effort",
+                f"{r.loss_probability:.3f}",
+                r.packets,
+                r.counted_remotely,
+                f"{r.count_error_rate * 100:.2f}%",
+                r.naks_seen,
+                r.retransmissions,
+            ]
+            for r in results
+        ],
+        title="§7 ablation — RDMA packet drops vs counter accuracy",
+    )
+
+
+# -- 6. RDMA prioritization ----------------------------------------------------------
+
+@dataclass
+class PriorityResult:
+    protected: bool
+    lookups: int
+    resolved: int
+    delivered: int
+    bounce_naks: int
+    background_drops: int
+
+    @property
+    def resolution_rate(self) -> float:
+        return self.resolved / self.lookups if self.lookups else 0.0
+
+
+def run_priority_ablation(
+    lookups: int = 200, background_packets: int = 3000
+) -> List["PriorityResult"]:
+    """§7 RDMA prioritization under a congested memory-server port.
+
+    Bounced lookups (packet-sized RDMA WRITEs) share the server port with
+    2:1 oversubscribed background UDP; with strict priority + reserved
+    headroom the RDMA leg becomes loss-free.
+    """
+    from ..switches.traffic_manager import TrafficManagerConfig
+    from ..sim.units import kib
+    from ..net.headers import UdpHeader
+    from ..workloads.perftest import PacketSink
+
+    results = []
+    for protected in (False, True):
+        tm = TrafficManagerConfig(
+            buffer_bytes=kib(64),
+            rdma_priority=protected,
+            rdma_reserved_bytes=kib(16) if protected else 0,
+        )
+        tb = build_testbed(n_hosts=3, tm_config=tm)
+        from ..apps.programs import RemoteLookupProgram
+
+        program = RemoteLookupProgram()
+        for host, port in zip(tb.hosts, tb.host_ports):
+            program.install(host.eth.mac, port)
+        program.install(tb.memory_server.eth.mac, tb.server_port)
+        tb.switch.bind_program(program)
+        config = LookupTableConfig(entries=1 << 10, cache_entries=0)
+        channel = tb.controller.open_channel(
+            tb.memory_server, tb.server_port,
+            config.entries * config.entry_bytes,
+        )
+        table = RemoteLookupTable(tb.switch, channel, config=config)
+        program.use_lookup_table(table)
+        program.lookup_filter = (
+            lambda p: p.find(UdpHeader) is not None
+            and p.find(UdpHeader).dst_port == 20_000
+        )
+        flow = FiveTuple(
+            src_ip=tb.hosts[0].eth.ip.value,
+            dst_ip=tb.hosts[1].eth.ip.value,
+            protocol=17,
+            src_port=10_000,
+            dst_port=20_000,
+        )
+        table.install(flow, RemoteAction(ACTION_SET_DSCP, 5))
+
+        sink = PacketSink(tb.hosts[1], dst_port=20_000)
+        gen = RawEthernetBw(
+            tb.sim, tb.hosts[0], tb.hosts[1],
+            packet_size=1400, rate_bps=gbps(2), count=lookups,
+            src_port=10_000,
+        )
+        gen.start()
+        for i, host in enumerate((tb.hosts[1], tb.hosts[2])):
+            RawEthernetBw(
+                tb.sim, host, tb.memory_server,
+                packet_size=1500, rate_bps=gbps(40),
+                count=background_packets // 2,
+                src_port=31_000 + i, dst_port=31_001,
+            ).start()
+        tb.sim.run(max_events=4_000_000)
+        results.append(
+            PriorityResult(
+                protected=protected,
+                lookups=table.stats.remote_lookups,
+                resolved=table.stats.remote_hits,
+                delivered=sink.packets,
+                bounce_naks=table.rocegen.stats.naks_received,
+                background_drops=tb.switch.port_queue(
+                    tb.server_port
+                ).dropped_packets,
+            )
+        )
+    return results
+
+
+def format_priority(results: Sequence["PriorityResult"]) -> str:
+    return format_table(
+        ["RDMA priority", "lookups", "resolved", "delivered", "bounce NAKs", "bg drops"],
+        [
+            [
+                "on" if r.protected else "off",
+                r.lookups,
+                r.resolved,
+                r.delivered,
+                r.bounce_naks,
+                r.background_drops,
+            ]
+            for r in results
+        ],
+        title="§7 ablation — prioritizing RDMA packets under congestion",
+    )

@@ -1,0 +1,200 @@
+"""§2.2 / Fig. 1b: bare-metal hosting — VIP→PIP translation at the ToR.
+
+A customer's blackbox servers send to virtual IPs; the ToR must translate
+to physical IPs.  The full mapping table (tens of thousands of VIPs in
+production) dwarfs switch SRAM.  Compared systems:
+
+* ``slowpath``   — SRAM holds what fits; misses take the switch-CPU
+  software path (µs latency, pps ceiling, queue drops under load).
+* ``remote``     — the complete table in server DRAM via the lookup-table
+  primitive, with the same amount of SRAM acting as a cache.
+
+Traffic follows a Zipf flow popularity over the VIPs, so a small cache
+covers most packets — the case the paper's design banks on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..analysis.reporting import format_table
+from ..analysis.stats import percentile
+from ..apps.virtual_switch import VipMapping, VirtualSwitchProgram
+from ..baselines.cpu_slowpath import CpuSlowPath, CpuSlowPathConfig
+from ..core.lookup_table import LookupTableConfig, RemoteLookupTable
+from ..net.addresses import Ipv4Address
+from ..net.headers import Ipv4Header
+from ..net.node import Interface
+from ..net.packet import Packet
+from ..sim.units import SEC, gbps, to_usec
+from ..workloads.factory import udp_between
+from ..workloads.flows import ZipfSampler
+from .topology import build_testbed
+
+MODES = ("slowpath", "remote")
+
+
+@dataclass
+class BaremetalResult:
+    mode: str
+    vips: int
+    sram_entries: int
+    packets_sent: int
+    packets_received: int
+    median_latency_us: float
+    p99_latency_us: float
+    fast_translations: int
+    slow_path_translations: int
+    slow_path_drops: int
+    remote_lookups: int
+    cache_hit_rate: float
+
+    @property
+    def delivery_rate(self) -> float:
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_received / self.packets_sent
+
+
+def run_baremetal(
+    mode: str,
+    vips: int = 20_000,
+    sram_entries: int = 256,
+    packets: int = 5_000,
+    alpha: float = 1.1,
+    rate_bps: float = gbps(5),
+    packet_size: int = 512,
+    seed: int = 0,
+) -> BaremetalResult:
+    """One mode of the bare-metal translation experiment."""
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; pick from {MODES}")
+    tb = build_testbed(n_hosts=2, with_memory_server=mode == "remote")
+    blackbox, vm_host = tb.hosts
+
+    program = VirtualSwitchProgram(sram_entries=sram_entries)
+    program.install(blackbox.eth.mac, tb.host_ports[0])
+    program.install(vm_host.eth.mac, tb.host_ports[1])
+    tb.switch.bind_program(program)
+
+    table = None
+    if mode == "remote":
+        config = LookupTableConfig(
+            entries=1 << 16, cache_entries=sram_entries, cache_fill=True
+        )
+        channel = tb.controller.open_channel(
+            tb.memory_server,
+            tb.server_port,
+            config.entries * config.entry_bytes,
+        )
+        table = RemoteLookupTable(tb.switch, channel, config=config)
+        program.use_remote_table(table)
+    else:
+        program.use_slow_path(CpuSlowPath(tb.sim, CpuSlowPathConfig()))
+
+    # Control plane installs every VIP -> PIP mapping.
+    for rank in range(vips):
+        vip = Ipv4Address((172 << 24) | (16 << 16) | rank + 1)
+        pip = Ipv4Address((10 << 24) | (99 << 16) | rank + 1)
+        program.add_mapping(
+            VipMapping(
+                vip=vip,
+                pip=pip,
+                pip_mac=vm_host.eth.mac,
+                egress_port=tb.host_ports[1],
+            )
+        )
+
+    # Zipf traffic from the blackbox toward the VIPs.
+    sampler = ZipfSampler(vips, alpha, tb.seeds.stream(f"baremetal-{seed}"))
+    latencies: List[float] = []
+    received = [0]
+
+    def on_receive(packet: Packet, interface: Interface) -> None:
+        received[0] += 1
+        sent_at = packet.meta.get("sent_at")
+        if sent_at is not None:
+            latencies.append(tb.sim.now - sent_at)
+
+    vm_host.packet_handlers.append(on_receive)
+
+    template = udp_between(blackbox, vm_host, packet_size)
+    interval_ns = template.wire_len * 8 * SEC / rate_bps
+    state = {"sent": 0}
+
+    def send_next() -> None:
+        if state["sent"] >= packets:
+            return
+        rank = sampler.sample()
+        packet = udp_between(blackbox, vm_host, packet_size)
+        packet.require(Ipv4Header).dst = Ipv4Address(
+            (172 << 24) | (16 << 16) | rank + 1
+        )
+        packet.meta["sent_at"] = tb.sim.now
+        blackbox.send(packet)
+        state["sent"] += 1
+        tb.sim.schedule(interval_ns, send_next)
+
+    tb.sim.schedule(0.0, send_next)
+    tb.sim.run()
+
+    cache_hit_rate = 0.0
+    remote_lookups = 0
+    if table is not None:
+        remote_lookups = table.stats.remote_lookups
+        total = table.stats.local_hits + table.stats.remote_lookups
+        cache_hit_rate = table.stats.local_hits / total if total else 0.0
+    return BaremetalResult(
+        mode=mode,
+        vips=vips,
+        sram_entries=sram_entries,
+        packets_sent=state["sent"],
+        packets_received=received[0],
+        median_latency_us=(
+            to_usec(percentile(latencies, 50)) if latencies else float("nan")
+        ),
+        p99_latency_us=(
+            to_usec(percentile(latencies, 99)) if latencies else float("nan")
+        ),
+        fast_translations=program.fast_translations,
+        slow_path_translations=program.slow_path_translations,
+        slow_path_drops=program.slow_path_drops,
+        remote_lookups=remote_lookups,
+        cache_hit_rate=cache_hit_rate,
+    )
+
+
+def run_baremetal_comparison(**kwargs) -> List[BaremetalResult]:
+    return [run_baremetal(mode, **kwargs) for mode in MODES]
+
+
+def format_baremetal(results: Sequence[BaremetalResult]) -> str:
+    return format_table(
+        [
+            "mode",
+            "delivered",
+            "median lat (us)",
+            "p99 lat (us)",
+            "fast xlate",
+            "slow-path xlate",
+            "slow-path drops",
+            "remote lookups",
+            "cache hit rate",
+        ],
+        [
+            [
+                r.mode,
+                f"{r.packets_received}/{r.packets_sent}",
+                f"{r.median_latency_us:.2f}",
+                f"{r.p99_latency_us:.2f}",
+                r.fast_translations,
+                r.slow_path_translations,
+                r.slow_path_drops,
+                r.remote_lookups,
+                f"{r.cache_hit_rate * 100:.1f}%",
+            ]
+            for r in results
+        ],
+        title="§2.2 / Fig. 1b — bare-metal VIP→PIP translation at the ToR",
+    )

@@ -1,0 +1,225 @@
+"""§2.2/§6 application study: an in-network KV cache over remote memory.
+
+NetCache-class systems answer hot keys from switch SRAM and push misses to
+the storage server's CPU.  This experiment measures what the paper's
+remote lookup capability changes: cold keys are answered with an RDMA READ
+from server DRAM, so the storage server's CPU receives *zero* GETs.
+
+Modes:
+
+* ``server``      — no switch cache at all; every query hits the CPU.
+* ``sram``        — hottest keys pre-installed in SRAM (NetCache-style);
+  misses go to the CPU.
+* ``sram+remote`` — SRAM cache plus the remote value store for misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..analysis.reporting import format_table
+from ..analysis.stats import percentile
+from ..apps.kv_cache import (
+    ENTRY_BYTES,
+    KV_UDP_PORT,
+    KvCacheProgram,
+    KvHeader,
+    KvStorageServer,
+    RemoteValueStore,
+    VALUE_BYTES,
+    normalize_key,
+)
+from ..baselines.cpu_slowpath import CpuSlowPath, CpuSlowPathConfig
+from ..net.headers import UdpHeader
+from ..net.packet import Packet
+from ..sim.units import SEC, gbps, to_usec
+from ..switches.tables import ActionEntry
+from ..workloads.factory import udp_between
+from ..workloads.flows import ZipfSampler
+from .topology import build_testbed
+
+MODES = ("server", "sram", "sram+remote")
+
+
+@dataclass
+class KvResult:
+    mode: str
+    keys: int
+    sram_entries: int
+    queries: int
+    replies: int
+    hits: int
+    median_latency_us: float
+    p99_latency_us: float
+    server_cpu_queries: int
+    server_drops: int
+    switch_answered: int
+
+    @property
+    def reply_rate(self) -> float:
+        return self.replies / self.queries if self.queries else 0.0
+
+    @property
+    def server_bypass_rate(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return 1.0 - self.server_cpu_queries / self.queries
+
+
+def _value_for(key_id: int) -> bytes:
+    return f"value-{key_id}".encode().ljust(VALUE_BYTES, b"\x00")
+
+
+def _key_for(key_id: int) -> bytes:
+    return normalize_key(f"key-{key_id}".encode())
+
+
+def run_kv_cache(
+    mode: str,
+    keys: int = 10_000,
+    sram_entries: int = 64,
+    queries: int = 4_000,
+    alpha: float = 1.1,
+    rate_bps: float = gbps(2),
+    seed: int = 0,
+) -> KvResult:
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; pick from {MODES}")
+    tb = build_testbed(n_hosts=2, with_memory_server=mode == "sram+remote")
+    client, storage_host = tb.hosts
+
+    program = KvCacheProgram(
+        sram_entries=sram_entries if mode != "server" else 1,
+        cache_fill=mode == "sram+remote",
+    )
+    program.install(client.eth.mac, tb.host_ports[0])
+    program.install(storage_host.eth.mac, tb.host_ports[1])
+    tb.switch.bind_program(program)
+
+    server = KvStorageServer(
+        storage_host, CpuSlowPath(tb.sim, CpuSlowPathConfig())
+    )
+    for key_id in range(keys):
+        server.put(_key_for(key_id), _value_for(key_id))
+
+    if mode == "sram+remote":
+        # Size the bucket array for a tiny collision rate (expected
+        # colliding fraction ~= keys / buckets); DRAM is cheap — that is
+        # the paper's whole premise.
+        buckets = 1 << 16
+        while buckets < 64 * keys and buckets < (1 << 22):
+            buckets <<= 1
+        channel = tb.controller.open_channel(
+            tb.memory_server, tb.server_port, buckets * ENTRY_BYTES
+        )
+        store = RemoteValueStore(channel, buckets=buckets)
+        for key_id in range(keys):
+            store.populate(_key_for(key_id), _value_for(key_id))
+        program.use_remote_store(tb.switch, store)
+        # Bucket collisions still fall back to the server (correctness).
+        program.use_server_port(tb.host_ports[1])
+    else:
+        program.use_server_port(tb.host_ports[1])
+        if mode == "sram":
+            # NetCache-style: the controller pre-installs the hottest keys.
+            for key_id in range(min(sram_entries, keys)):
+                program.sram.insert(
+                    _key_for(key_id),
+                    ActionEntry("value", {"value": _value_for(key_id)}),
+                )
+
+    # -- query workload -------------------------------------------------------
+    sampler = ZipfSampler(keys, alpha, tb.seeds.stream(f"kv-{seed}"))
+    latencies: List[float] = []
+    hits = [0]
+    replies = [0]
+
+    def on_reply(packet: Packet, interface) -> None:
+        udp = packet.find(UdpHeader)
+        if udp is None or udp.src_port != KV_UDP_PORT:
+            return
+        header = KvHeader.unpack(packet.payload)
+        if header.op != KvHeader.OP_REPLY:
+            return
+        replies[0] += 1
+        if header.hit:
+            hits[0] += 1
+        sent_at = packet.meta.get("sent_at")
+        if sent_at is not None:
+            latencies.append(tb.sim.now - sent_at)
+
+    client.packet_handlers.append(on_reply)
+
+    template = udp_between(client, storage_host, 256, dst_port=KV_UDP_PORT)
+    interval_ns = template.wire_len * 8 * SEC / rate_bps
+    state = {"sent": 0}
+
+    def send_next() -> None:
+        if state["sent"] >= queries:
+            return
+        key_id = sampler.sample()
+        query = udp_between(
+            client, storage_host, 128,
+            src_port=40_000, dst_port=KV_UDP_PORT,
+            payload=KvHeader(op=KvHeader.OP_GET, key=_key_for(key_id)).pack(),
+        )
+        query.meta["sent_at"] = tb.sim.now
+        client.send(query)
+        state["sent"] += 1
+        tb.sim.schedule(interval_ns, send_next)
+
+    tb.sim.schedule(0.0, send_next)
+    tb.sim.run()
+
+    switch_answered = program.stats.sram_hits + program.stats.remote_hits
+    return KvResult(
+        mode=mode,
+        keys=keys,
+        sram_entries=sram_entries,
+        queries=state["sent"],
+        replies=replies[0],
+        hits=hits[0],
+        median_latency_us=(
+            to_usec(percentile(latencies, 50)) if latencies else float("nan")
+        ),
+        p99_latency_us=(
+            to_usec(percentile(latencies, 99)) if latencies else float("nan")
+        ),
+        server_cpu_queries=server.cpu_queries,
+        server_drops=server.dropped_queries,
+        switch_answered=switch_answered,
+    )
+
+
+def run_kv_cache_comparison(**kwargs) -> List[KvResult]:
+    return [run_kv_cache(mode, **kwargs) for mode in MODES]
+
+
+def format_kv_cache(results: Sequence[KvResult]) -> str:
+    return format_table(
+        [
+            "mode",
+            "replies",
+            "hit replies",
+            "median (us)",
+            "p99 (us)",
+            "switch answered",
+            "server CPU GETs",
+            "server bypass",
+        ],
+        [
+            [
+                r.mode,
+                f"{r.replies}/{r.queries}",
+                r.hits,
+                f"{r.median_latency_us:.2f}",
+                f"{r.p99_latency_us:.2f}",
+                r.switch_answered,
+                r.server_cpu_queries,
+                f"{r.server_bypass_rate * 100:.1f}%",
+            ]
+            for r in results
+        ],
+        title="§2.2/§6 — in-network KV cache: SRAM vs remote-memory miss path",
+    )

@@ -1,0 +1,224 @@
+"""§2.1's division of labour: bursts → remote buffer, persistence → ECN.
+
+"Before that >10 GB remote memory is all filled, any bursty incast
+conditions should have passed, or (in the case of persistent congestion)
+end-to-end congestion control based on ECN [36] or delay [28] should have
+slowed traffic."
+
+This experiment subjects a remote-buffered egress port to *persistent* 2:1
+overload (two senders at line rate, forever) and compares:
+
+* ``buffer_only`` — no congestion control: the ring grows until it is
+  full, then packets drop; remote memory merely delays the loss.
+* ``buffer+ecn``  — the co-designed signal: once ring occupancy crosses a
+  threshold, diverted ECT packets are CE-marked; DCTCP-style senders slow
+  to their fair share, the ring drains, and the system is loss-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..analysis.reporting import format_table
+from ..apps.programs import RemoteBufferProgram
+from ..core.packet_buffer import (
+    ENTRY_SEQ_BYTES,
+    PacketBufferConfig,
+    RemotePacketBuffer,
+)
+from ..sim.units import gbps, kib, msec, to_msec
+from ..switches.traffic_manager import TrafficManagerConfig
+from ..workloads.dctcp import DctcpConfig, DctcpReceiver, DctcpSender
+from .topology import build_testbed
+
+MODES = ("buffer_only", "buffer+ecn")
+
+
+@dataclass
+class PersistentCongestionResult:
+    mode: str
+    duration_ms: float
+    packets_sent: int
+    packets_received: int
+    ring_full_drops: int
+    switch_drops: int
+    peak_ring_entries: int
+    final_ring_entries: int
+    ce_marked: int
+    final_rates_gbps: List[float]
+
+    @property
+    def loss_rate(self) -> float:
+        if self.packets_sent == 0:
+            return 0.0
+        return 1.0 - self.packets_received / self.packets_sent
+
+    @property
+    def aggregate_final_rate_gbps(self) -> float:
+        return sum(self.final_rates_gbps)
+
+
+def run_persistent_congestion(
+    mode: str,
+    duration_ms: float = 8.0,
+    ring_entries_per_server: int = 3000,
+    ecn_threshold_entries: int = 256,
+    n_memory_servers: int = 3,
+    senders: int = 2,
+) -> PersistentCongestionResult:
+    """One mode of the persistent-congestion study.
+
+    Sizing notes, each load-bearing:
+
+    * ``n_memory_servers`` must absorb the *entire* diverted stream (the
+      §4 ordering rule diverts everything while buffering): 2×40 Gbps of
+      arrivals needs 3 servers, since each NIC ingests ~34 Gbps
+      losslessly (§5's own result).
+    * ``ecn_threshold_entries`` must be small relative to the ring:
+      marked packets only reach the receiver after their ring sojourn, so
+      a deep marking threshold bufferbloats the control loop into
+      uselessness (DCTCP's shallow-K lesson, reproduced faithfully).
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; pick from {MODES}")
+    # The paper's 12 MB shared buffer, plus one co-design necessity this
+    # experiment uncovered: READ requests ride strict priority, so the
+    # load path never queues behind megabytes of diverted WRITE traffic on
+    # the saturated server ports (classic bufferbloat, inside the switch).
+    def _read_request(packet) -> bool:
+        from ..rdma.constants import Opcode
+        from ..rdma.headers import BthHeader
+
+        bth = packet.find(BthHeader)
+        return bth is not None and bth.opcode == Opcode.RDMA_READ_REQUEST
+
+    tb = build_testbed(
+        n_hosts=senders + 1,
+        n_memory_servers=n_memory_servers,
+        tm_config=TrafficManagerConfig(
+            rdma_priority=True,
+            priority_classifier=_read_request,
+        ),
+    )
+    receiver = tb.hosts[senders]
+    program = RemoteBufferProgram()
+    for host, port in zip(tb.hosts, tb.host_ports):
+        program.install(host.eth.mac, port)
+    tb.switch.bind_program(program)
+
+    entry_bytes = 1500 + ENTRY_SEQ_BYTES
+    channels = tb.open_channels(ring_entries_per_server * entry_bytes)
+    # Loads ride dedicated queue pairs onto the same regions: READ
+    # prioritization reorders them past the WRITE stream inside the
+    # switch, which RC only tolerates across QPs, never within one.
+    read_channels = [
+        tb.controller.open_channel(
+            channel.server, channel.server_port, share_region_with=channel
+        )
+        for channel in channels
+    ]
+    primitive = RemotePacketBuffer(
+        tb.switch,
+        channels,
+        read_channels=read_channels,
+        protected_port=tb.host_ports[senders],
+        config=PacketBufferConfig(
+            entry_bytes=entry_bytes,
+            high_watermark_bytes=kib(256),
+            low_watermark_bytes=kib(32),
+            ecn_ring_threshold_entries=(
+                ecn_threshold_entries if mode == "buffer+ecn" else None
+            ),
+        ),
+    )
+    program.use_packet_buffer(primitive)
+
+    dctcp_receiver = DctcpReceiver(receiver, dst_port=42_001)
+    dctcp_senders: List[DctcpSender] = []
+    for i in range(senders):
+        # A faster alpha gain than host-stack DCTCP: the control loop's
+        # effective RTT includes the ring sojourn, so it must adapt in few
+        # intervals.
+        config = DctcpConfig(gain=0.4)
+        if mode == "buffer_only":
+            # No reaction: neutralise the control loop (feedback arrives
+            # but the rate never moves).
+            config = DctcpConfig(
+                gain=0.0, additive_increase_bps=0.0,
+                min_rate_bps=gbps(40), max_rate_bps=gbps(40),
+            )
+        sender = DctcpSender(
+            tb.sim,
+            tb.hosts[i],
+            receiver,
+            packet_size=1500,
+            rate_bps=gbps(40),
+            duration_ns=msec(duration_ms),
+            src_port=42_000 + i * 2,
+            config=config,
+        )
+        sender.start()
+        dctcp_senders.append(sender)
+
+    # Track ring occupancy over time.
+    peak = [0]
+
+    def sample_ring() -> None:
+        peak[0] = max(peak[0], primitive.stored_entries)
+        if tb.sim.now < msec(duration_ms):
+            tb.sim.schedule(10_000.0, sample_ring)
+
+    tb.sim.schedule(0.0, sample_ring)
+    tb.sim.run(max_events=30_000_000)
+
+    ce_marked = primitive.stats.ecn_marked + sum(
+        q.ecn_marked for q in tb.switch.tm.queues.values()
+    )
+    return PersistentCongestionResult(
+        mode=mode,
+        duration_ms=duration_ms,
+        packets_sent=sum(s.packets_sent for s in dctcp_senders),
+        packets_received=dctcp_receiver.packets,
+        ring_full_drops=primitive.stats.ring_full_drops,
+        switch_drops=tb.switch.tm.total_dropped_packets,
+        peak_ring_entries=peak[0],
+        final_ring_entries=primitive.stored_entries,
+        ce_marked=ce_marked,
+        final_rates_gbps=[s.rate_bps / 1e9 for s in dctcp_senders],
+    )
+
+
+def run_persistent_congestion_comparison(
+    **kwargs,
+) -> List[PersistentCongestionResult]:
+    return [run_persistent_congestion(mode, **kwargs) for mode in MODES]
+
+
+def format_persistent_congestion(
+    results: Sequence[PersistentCongestionResult],
+) -> str:
+    return format_table(
+        [
+            "mode",
+            "recv/sent",
+            "loss",
+            "ring-full drops",
+            "peak ring",
+            "CE marks",
+            "final rates (Gbps)",
+        ],
+        [
+            [
+                r.mode,
+                f"{r.packets_received}/{r.packets_sent}",
+                f"{r.loss_rate * 100:.1f}%",
+                r.ring_full_drops,
+                r.peak_ring_entries,
+                r.ce_marked,
+                " + ".join(f"{rate:.1f}" for rate in r.final_rates_gbps),
+            ]
+            for r in results
+        ],
+        title="§2.1 — persistent congestion: remote buffer alone vs with ECN",
+    )

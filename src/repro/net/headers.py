@@ -1,0 +1,240 @@
+"""Byte-accurate codecs for the classic header stack: Ethernet, IPv4, UDP.
+
+Every header type supports ``pack() -> bytes`` and ``unpack(bytes)`` that
+round-trip exactly; property-based tests assert this invariant.  Packets in
+the simulator carry *structured* header objects for speed, but wire sizes and
+serialized bytes always come from these codecs, so bandwidth accounting is
+grounded in the real formats rather than hard-coded constants.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .addresses import Ipv4Address, MacAddress
+
+#: EtherType for IPv4.
+ETHERTYPE_IPV4 = 0x0800
+#: EtherType for RoCEv1 (Infiniband global routing directly over Ethernet).
+ETHERTYPE_ROCEV1 = 0x8915
+#: UDP destination port reserved for RoCEv2 (IANA).
+ROCEV2_UDP_PORT = 4791
+
+#: Ethernet preamble + start-of-frame delimiter, bytes on the wire.
+ETHERNET_PREAMBLE_BYTES = 8
+#: Minimum inter-frame gap, bytes on the wire.
+ETHERNET_IFG_BYTES = 12
+#: Frame check sequence (CRC32) appended to every frame.
+ETHERNET_FCS_BYTES = 4
+#: Total per-frame wire overhead beyond the L2 header and payload.
+ETHERNET_WIRE_OVERHEAD = (
+    ETHERNET_PREAMBLE_BYTES + ETHERNET_IFG_BYTES + ETHERNET_FCS_BYTES
+)
+#: Minimum Ethernet frame size (header + payload + FCS), excluding preamble/IFG.
+ETHERNET_MIN_FRAME = 64
+
+
+class HeaderError(ValueError):
+    """Raised when a header cannot be decoded from raw bytes."""
+
+
+@dataclass
+class EthernetHeader:
+    """IEEE 802.3 Ethernet II header (14 bytes, no VLAN tag)."""
+
+    dst: MacAddress
+    src: MacAddress
+    ethertype: int = ETHERTYPE_IPV4
+
+    LENGTH = 14
+
+    def __post_init__(self) -> None:
+        self.dst = MacAddress(self.dst)
+        self.src = MacAddress(self.src)
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise HeaderError(f"ethertype out of range: {self.ethertype:#x}")
+
+    def pack(self) -> bytes:
+        return (
+            self.dst.to_bytes()
+            + self.src.to_bytes()
+            + struct.pack("!H", self.ethertype)
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        if len(data) < cls.LENGTH:
+            raise HeaderError(f"short Ethernet header: {len(data)} bytes")
+        dst = MacAddress.from_bytes(data[0:6])
+        src = MacAddress.from_bytes(data[6:12])
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(dst=dst, src=src, ethertype=ethertype)
+
+    @property
+    def byte_len(self) -> int:
+        return self.LENGTH
+
+
+def ipv4_checksum(header_bytes: bytes) -> int:
+    """Compute the RFC 1071 one's-complement checksum over *header_bytes*.
+
+    The checksum field itself must be zeroed in the input.
+    """
+    if len(header_bytes) % 2:
+        header_bytes += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", header_bytes):
+        total += word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass
+class Ipv4Header:
+    """IPv4 header (20 bytes, no options).
+
+    ``total_length`` covers the IPv4 header plus everything after it; the
+    packet layer keeps it consistent automatically when packing.
+    """
+
+    src: Ipv4Address
+    dst: Ipv4Address
+    protocol: int = 17  # UDP
+    total_length: int = 20
+    ttl: int = 64
+    dscp: int = 0
+    ecn: int = 0
+    identification: int = 0
+    flags: int = 0b010  # don't fragment
+    fragment_offset: int = 0
+
+    LENGTH = 20
+    PROTO_UDP = 17
+    PROTO_TCP = 6
+
+    def __post_init__(self) -> None:
+        self.src = Ipv4Address(self.src)
+        self.dst = Ipv4Address(self.dst)
+        for name, value, limit in (
+            ("protocol", self.protocol, 0xFF),
+            ("total_length", self.total_length, 0xFFFF),
+            ("ttl", self.ttl, 0xFF),
+            ("dscp", self.dscp, 0x3F),
+            ("ecn", self.ecn, 0x3),
+            ("identification", self.identification, 0xFFFF),
+            ("flags", self.flags, 0x7),
+            ("fragment_offset", self.fragment_offset, 0x1FFF),
+        ):
+            if not 0 <= value <= limit:
+                raise HeaderError(f"IPv4 {name} out of range: {value}")
+
+    def pack(self) -> bytes:
+        version_ihl = (4 << 4) | 5
+        tos = (self.dscp << 2) | self.ecn
+        flags_frag = (self.flags << 13) | self.fragment_offset
+        without_checksum = struct.pack(
+            "!BBHHHBBH4s4s",
+            version_ihl,
+            tos,
+            self.total_length,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.protocol,
+            0,
+            self.src.to_bytes(),
+            self.dst.to_bytes(),
+        )
+        checksum = ipv4_checksum(without_checksum)
+        return without_checksum[:10] + struct.pack("!H", checksum) + without_checksum[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Ipv4Header":
+        if len(data) < cls.LENGTH:
+            raise HeaderError(f"short IPv4 header: {len(data)} bytes")
+        (
+            version_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = struct.unpack("!BBHHHBBH4s4s", data[: cls.LENGTH])
+        version = version_ihl >> 4
+        ihl = version_ihl & 0xF
+        if version != 4:
+            raise HeaderError(f"not an IPv4 header (version={version})")
+        if ihl != 5:
+            raise HeaderError(f"IPv4 options unsupported (ihl={ihl})")
+        verify = data[:10] + b"\x00\x00" + data[12 : cls.LENGTH]
+        expected = ipv4_checksum(verify)
+        if checksum != expected:
+            raise HeaderError(
+                f"bad IPv4 checksum: {checksum:#06x} != {expected:#06x}"
+            )
+        return cls(
+            src=Ipv4Address.from_bytes(src),
+            dst=Ipv4Address.from_bytes(dst),
+            protocol=protocol,
+            total_length=total_length,
+            ttl=ttl,
+            dscp=tos >> 2,
+            ecn=tos & 0x3,
+            identification=identification,
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+        )
+
+    @property
+    def byte_len(self) -> int:
+        return self.LENGTH
+
+
+@dataclass
+class UdpHeader:
+    """UDP header (8 bytes).
+
+    The checksum is carried verbatim; RoCEv2 sets it to zero, which is legal
+    for UDP over IPv4 and what real RNICs emit.
+    """
+
+    src_port: int
+    dst_port: int
+    length: int = 8
+    checksum: int = 0
+
+    LENGTH = 8
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("src_port", self.src_port),
+            ("dst_port", self.dst_port),
+            ("length", self.length),
+            ("checksum", self.checksum),
+        ):
+            if not 0 <= value <= 0xFFFF:
+                raise HeaderError(f"UDP {name} out of range: {value}")
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            "!HHHH", self.src_port, self.dst_port, self.length, self.checksum
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UdpHeader":
+        if len(data) < cls.LENGTH:
+            raise HeaderError(f"short UDP header: {len(data)} bytes")
+        src_port, dst_port, length, checksum = struct.unpack(
+            "!HHHH", data[: cls.LENGTH]
+        )
+        return cls(src_port=src_port, dst_port=dst_port, length=length, checksum=checksum)
+
+    @property
+    def byte_len(self) -> int:
+        return self.LENGTH

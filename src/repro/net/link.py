@@ -1,0 +1,82 @@
+"""Point-to-point duplex links.
+
+Serialization happens at the transmitting :class:`~repro.net.node.Interface`
+(one packet on the wire at a time per direction); the link adds propagation
+delay and delivers to the peer.  Links may also inject loss or corruption
+for the §7 drop-sensitivity experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..sim.simulator import Simulator
+from .node import Interface
+from .packet import Packet
+
+
+class Link:
+    """A full-duplex point-to-point link between two interfaces."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Interface,
+        b: Interface,
+        rate_bps: float,
+        propagation_ns: float = 250.0,
+        loss_probability: float = 0.0,
+        loss_rng: Optional[random.Random] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError(f"loss probability out of range: {loss_probability}")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.rate_bps = rate_bps
+        self.propagation_ns = propagation_ns
+        self.loss_probability = loss_probability
+        self._loss_rng = loss_rng if loss_rng is not None else random.Random(0)
+        self.lost_packets = 0
+        #: Taps fired as tap(src_interface, packet) when a packet enters the wire.
+        self.taps: List[Callable[[Interface, Packet], None]] = []
+        a.link = self
+        b.link = self
+
+    def peer_of(self, interface: Interface) -> Interface:
+        if interface is self.a:
+            return self.b
+        if interface is self.b:
+            return self.a
+        raise ValueError(f"{interface} is not attached to {self}")
+
+    def carry(self, src: Interface, packet: Packet) -> None:
+        """Propagate *packet* from *src* to the opposite interface."""
+        dst = self.peer_of(src)
+        for tap in self.taps:
+            tap(src, packet)
+        if self.loss_probability > 0.0 and self._loss_rng.random() < self.loss_probability:
+            self.lost_packets += 1
+            return
+        self.sim.schedule(self.propagation_ns, dst.deliver, packet)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Link {self.a.node.name}:{self.a.name} <-> "
+            f"{self.b.node.name}:{self.b.name} {self.rate_bps / 1e9:.0f}Gbps>"
+        )
+
+
+def connect(
+    sim: Simulator,
+    a: Interface,
+    b: Interface,
+    rate_bps: float,
+    propagation_ns: float = 250.0,
+    **kwargs: object,
+) -> Link:
+    """Convenience wrapper: build a :class:`Link` joining *a* and *b*."""
+    return Link(sim, a, b, rate_bps, propagation_ns=propagation_ns, **kwargs)

@@ -1,0 +1,216 @@
+"""The structured packet model.
+
+A :class:`Packet` is an ordered stack of header objects (outermost first)
+plus an opaque payload.  Network elements manipulate the structured form —
+pushing and popping headers the way a P4 deparser would — while byte-level
+serialization remains available for tests, pcap dumps, and wire-size
+accounting.
+
+``meta`` carries simulation-only annotations (flow ids, creation timestamps,
+trace hooks) that never appear on the wire and never count toward sizes.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Any, Dict, List, Optional, Type, TypeVar
+
+from .headers import (
+    ETHERNET_FCS_BYTES,
+    ETHERNET_MIN_FRAME,
+    ETHERNET_WIRE_OVERHEAD,
+    ETHERTYPE_IPV4,
+    EthernetHeader,
+    HeaderError,
+    Ipv4Header,
+    UdpHeader,
+)
+
+H = TypeVar("H")
+
+_packet_ids = itertools.count(1)
+
+
+class Packet:
+    """A network packet: a header stack, payload bytes, optional trailers.
+
+    Trailers (e.g. the RoCE invariant CRC) are packed *after* the payload
+    and count toward all sizes, mirroring their position on the wire.
+    """
+
+    __slots__ = ("headers", "payload", "trailers", "meta", "packet_id")
+
+    def __init__(
+        self,
+        headers: Optional[List[Any]] = None,
+        payload: bytes = b"",
+        trailers: Optional[List[Any]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.headers: List[Any] = list(headers) if headers else []
+        self.payload = bytes(payload)
+        self.trailers: List[Any] = list(trailers) if trailers else []
+        self.meta: Dict[str, Any] = dict(meta) if meta else {}
+        self.packet_id = next(_packet_ids)
+
+    # -- header-stack manipulation -------------------------------------------
+
+    def push(self, header: Any) -> "Packet":
+        """Prepend *header* as the new outermost header (returns self)."""
+        self.headers.insert(0, header)
+        return self
+
+    def pop(self) -> Any:
+        """Remove and return the outermost header."""
+        if not self.headers:
+            raise HeaderError("cannot pop from an empty header stack")
+        return self.headers.pop(0)
+
+    def find(self, header_type: Type[H]) -> Optional[H]:
+        """Return the first header of *header_type*, or None."""
+        for header in self.headers:
+            if isinstance(header, header_type):
+                return header
+        return None
+
+    def require(self, header_type: Type[H]) -> H:
+        """Return the first header of *header_type*, raising if absent."""
+        header = self.find(header_type)
+        if header is None:
+            raise HeaderError(f"packet has no {header_type.__name__}")
+        return header
+
+    def index_of(self, header_type: Type[Any]) -> int:
+        """Return the stack index of the first header of *header_type*."""
+        for i, header in enumerate(self.headers):
+            if isinstance(header, header_type):
+                return i
+        raise HeaderError(f"packet has no {header_type.__name__}")
+
+    @property
+    def eth(self) -> EthernetHeader:
+        return self.require(EthernetHeader)
+
+    @property
+    def ipv4(self) -> Ipv4Header:
+        return self.require(Ipv4Header)
+
+    @property
+    def udp(self) -> UdpHeader:
+        return self.require(UdpHeader)
+
+    # -- sizes -----------------------------------------------------------------
+
+    def find_trailer(self, trailer_type: Type[H]) -> Optional[H]:
+        """Return the first trailer of *trailer_type*, or None."""
+        for trailer in self.trailers:
+            if isinstance(trailer, trailer_type):
+                return trailer
+        return None
+
+    @property
+    def header_len(self) -> int:
+        """Total bytes of all headers in the stack (trailers excluded)."""
+        return sum(h.byte_len for h in self.headers)
+
+    @property
+    def trailer_len(self) -> int:
+        """Total bytes of all trailers."""
+        return sum(t.byte_len for t in self.trailers)
+
+    @property
+    def frame_len(self) -> int:
+        """L2 frame size: headers + payload + trailers + FCS, min-padded."""
+        raw = (
+            self.header_len
+            + len(self.payload)
+            + self.trailer_len
+            + ETHERNET_FCS_BYTES
+        )
+        return max(raw, ETHERNET_MIN_FRAME)
+
+    @property
+    def wire_len(self) -> int:
+        """Bytes occupied on the wire: frame plus preamble + IFG."""
+        return self.frame_len + (ETHERNET_WIRE_OVERHEAD - ETHERNET_FCS_BYTES)
+
+    @property
+    def buffer_len(self) -> int:
+        """Bytes this packet occupies in a switch buffer."""
+        return self.header_len + len(self.payload) + self.trailer_len
+
+    # -- serialization -----------------------------------------------------------
+
+    def fixup_lengths(self) -> None:
+        """Make IPv4/UDP length fields consistent with the current stack.
+
+        Walks the stack once; for each IPv4 (resp. UDP) header the length
+        covers every header *after* it plus the payload.
+        """
+        trailer_bytes = self.trailer_len
+        for i, header in enumerate(self.headers):
+            tail = (
+                sum(h.byte_len for h in self.headers[i:])
+                + len(self.payload)
+                + trailer_bytes
+            )
+            if isinstance(header, Ipv4Header):
+                header.total_length = tail
+            elif isinstance(header, UdpHeader):
+                header.length = tail
+
+    def pack(self) -> bytes:
+        """Serialize the packet to bytes (without FCS/preamble/IFG)."""
+        self.fixup_lengths()
+        return (
+            b"".join(h.pack() for h in self.headers)
+            + self.payload
+            + b"".join(t.pack() for t in self.trailers)
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "Packet":
+        """Parse Ethernet → IPv4 → UDP from raw bytes.
+
+        Anything below UDP (or a non-IPv4/non-UDP stack) is kept as opaque
+        payload; protocol modules such as :mod:`repro.rdma.headers` provide
+        their own continuation parsers over that payload.
+        """
+        headers: List[Any] = []
+        eth = EthernetHeader.unpack(data)
+        headers.append(eth)
+        offset = EthernetHeader.LENGTH
+        if eth.ethertype == ETHERTYPE_IPV4 and len(data) >= offset + Ipv4Header.LENGTH:
+            ip = Ipv4Header.unpack(data[offset:])
+            headers.append(ip)
+            # Honour the IP length: Ethernet frames may carry padding (or,
+            # for packets read back from a reused ring-buffer slot, stale
+            # bytes of a previous longer frame).
+            end = min(len(data), offset + ip.total_length)
+            data = data[:end]
+            offset += Ipv4Header.LENGTH
+            if ip.protocol == Ipv4Header.PROTO_UDP and len(data) >= offset + UdpHeader.LENGTH:
+                udp = UdpHeader.unpack(data[offset:])
+                headers.append(udp)
+                offset += UdpHeader.LENGTH
+        return cls(headers=headers, payload=data[offset:])
+
+    # -- copying -----------------------------------------------------------------
+
+    def clone(self) -> "Packet":
+        """Deep-copy the packet (fresh packet_id), as a switch mirror would."""
+        cloned = Packet(
+            headers=[copy.deepcopy(h) for h in self.headers],
+            payload=self.payload,
+            trailers=[copy.deepcopy(t) for t in self.trailers],
+            meta=copy.deepcopy(self.meta),
+        )
+        return cloned
+
+    def __repr__(self) -> str:
+        names = "/".join(type(h).__name__.replace("Header", "") for h in self.headers)
+        return (
+            f"<Packet #{self.packet_id} {names or 'raw'} "
+            f"payload={len(self.payload)}B frame={self.frame_len}B>"
+        )

@@ -1,0 +1,233 @@
+"""Server DRAM and RDMA memory regions.
+
+Memory regions are sparse (page dict), so experiments can register the
+multi-gigabyte regions the paper envisions (O(10 GB) remote packet buffers,
+10^9 counters) without actually committing host RAM for untouched pages.
+
+Access checks mirror RNIC behaviour: an operation outside the registered
+range, with a stale rkey, or without the required access right must fail —
+the RNIC turns that failure into a NAK.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Iterator, Optional
+
+from .constants import ATOMIC_OPERAND_BYTES
+
+
+class AccessFlags(enum.IntFlag):
+    """Remote-access rights a memory region is registered with."""
+
+    LOCAL_WRITE = 0x1
+    REMOTE_WRITE = 0x2
+    REMOTE_READ = 0x4
+    REMOTE_ATOMIC = 0x8
+    ALL_REMOTE = REMOTE_WRITE | REMOTE_READ | REMOTE_ATOMIC
+
+
+class MemoryAccessError(Exception):
+    """An access violated a region's bounds, rights, or alignment."""
+
+
+class SparseBuffer:
+    """A zero-initialised sparse byte buffer backed by fixed-size pages."""
+
+    def __init__(self, length: int, page_size: int = 4096) -> None:
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        if page_size <= 0:
+            raise ValueError(f"page size must be positive, got {page_size}")
+        self.length = length
+        self.page_size = page_size
+        self._pages: Dict[int, bytearray] = {}
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of actually-allocated (touched) pages."""
+        return len(self._pages) * self.page_size
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 or offset + size > self.length:
+            raise MemoryAccessError(
+                f"range [{offset}, {offset + size}) outside buffer of "
+                f"{self.length} bytes"
+            )
+
+    def _page_spans(self, offset: int, size: int) -> Iterator[tuple]:
+        """Yield (page_index, start_in_page, end_in_page) covering the range."""
+        position = offset
+        end = offset + size
+        while position < end:
+            page_index, start = divmod(position, self.page_size)
+            chunk_end = min(self.page_size, start + (end - position))
+            yield page_index, start, chunk_end
+            position += chunk_end - start
+
+    def read(self, offset: int, size: int) -> bytes:
+        self._check_range(offset, size)
+        parts = []
+        for page_index, start, end in self._page_spans(offset, size):
+            page = self._pages.get(page_index)
+            if page is None:
+                parts.append(bytes(end - start))
+            else:
+                parts.append(bytes(page[start:end]))
+        return b"".join(parts)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check_range(offset, len(data))
+        cursor = 0
+        for page_index, start, end in self._page_spans(offset, len(data)):
+            page = self._pages.get(page_index)
+            if page is None:
+                page = bytearray(self.page_size)
+                self._pages[page_index] = page
+            chunk = end - start
+            page[start:end] = data[cursor : cursor + chunk]
+            cursor += chunk
+
+
+_rkey_counter = itertools.count(0x1000)
+
+
+class MemoryRegion:
+    """A registered RDMA memory region: VA range + rkey + access rights."""
+
+    def __init__(
+        self,
+        base_address: int,
+        length: int,
+        access: AccessFlags = AccessFlags.ALL_REMOTE,
+        rkey: Optional[int] = None,
+        page_size: int = 4096,
+    ) -> None:
+        if base_address < 0:
+            raise ValueError(f"base address must be non-negative: {base_address}")
+        self.base_address = base_address
+        self.length = length
+        self.access = access
+        self.rkey = next(_rkey_counter) if rkey is None else rkey
+        self._buffer = SparseBuffer(length, page_size=page_size)
+        self.valid = True
+        # Operation counters, handy for asserting "zero CPU involvement"
+        # experiments actually hit the region.
+        self.reads = 0
+        self.writes = 0
+        self.atomics = 0
+
+    @property
+    def end_address(self) -> int:
+        return self.base_address + self.length
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._buffer.resident_bytes
+
+    def deregister(self) -> None:
+        """Invalidate the region; subsequent remote access NAKs."""
+        self.valid = False
+
+    def _check(self, va: int, size: int, needed: AccessFlags) -> None:
+        if not self.valid:
+            raise MemoryAccessError(f"region rkey={self.rkey:#x} deregistered")
+        if not (self.access & needed):
+            raise MemoryAccessError(
+                f"region rkey={self.rkey:#x} lacks {needed.name} access"
+            )
+        if va < self.base_address or va + size > self.end_address:
+            raise MemoryAccessError(
+                f"VA range [{va:#x}, {va + size:#x}) outside region "
+                f"[{self.base_address:#x}, {self.end_address:#x})"
+            )
+
+    def read(self, va: int, size: int) -> bytes:
+        """Remote READ of *size* bytes at virtual address *va*."""
+        self._check(va, size, AccessFlags.REMOTE_READ)
+        self.reads += 1
+        return self._buffer.read(va - self.base_address, size)
+
+    def write(self, va: int, data: bytes) -> None:
+        """Remote WRITE of *data* at virtual address *va*."""
+        self._check(va, len(data), AccessFlags.REMOTE_WRITE)
+        self.writes += 1
+        self._buffer.write(va - self.base_address, data)
+
+    def fetch_add(self, va: int, value: int) -> int:
+        """Atomic 64-bit Fetch-and-Add; returns the pre-add value."""
+        self._check(va, ATOMIC_OPERAND_BYTES, AccessFlags.REMOTE_ATOMIC)
+        if va % ATOMIC_OPERAND_BYTES:
+            raise MemoryAccessError(f"atomic VA {va:#x} not 8-byte aligned")
+        self.atomics += 1
+        offset = va - self.base_address
+        original = int.from_bytes(
+            self._buffer.read(offset, ATOMIC_OPERAND_BYTES), "big"
+        )
+        updated = (original + value) % (1 << 64)
+        self._buffer.write(offset, updated.to_bytes(ATOMIC_OPERAND_BYTES, "big"))
+        return original
+
+    def compare_swap(self, va: int, compare: int, swap: int) -> int:
+        """Atomic 64-bit Compare-and-Swap; returns the pre-swap value."""
+        self._check(va, ATOMIC_OPERAND_BYTES, AccessFlags.REMOTE_ATOMIC)
+        if va % ATOMIC_OPERAND_BYTES:
+            raise MemoryAccessError(f"atomic VA {va:#x} not 8-byte aligned")
+        self.atomics += 1
+        offset = va - self.base_address
+        original = int.from_bytes(
+            self._buffer.read(offset, ATOMIC_OPERAND_BYTES), "big"
+        )
+        if original == compare:
+            self._buffer.write(offset, swap.to_bytes(ATOMIC_OPERAND_BYTES, "big"))
+        return original
+
+    def __repr__(self) -> str:
+        return (
+            f"<MemoryRegion rkey={self.rkey:#x} "
+            f"[{self.base_address:#x}, {self.end_address:#x}) "
+            f"{self.length} B>"
+        )
+
+
+class Dram:
+    """A server's DRAM: a registry of memory regions with a capacity budget."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"DRAM capacity must be positive: {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.regions: Dict[int, MemoryRegion] = {}
+        self._next_base = 0x1000_0000
+
+    @property
+    def registered_bytes(self) -> int:
+        return sum(r.length for r in self.regions.values() if r.valid)
+
+    def register(
+        self,
+        length: int,
+        access: AccessFlags = AccessFlags.ALL_REMOTE,
+        page_size: int = 4096,
+    ) -> MemoryRegion:
+        """Allocate and register a new region of *length* bytes."""
+        if self.registered_bytes + length > self.capacity_bytes:
+            raise MemoryError(
+                f"cannot register {length} B: "
+                f"{self.registered_bytes}/{self.capacity_bytes} B already in use"
+            )
+        region = MemoryRegion(
+            self._next_base, length, access=access, page_size=page_size
+        )
+        # Keep VA spaces of successive regions disjoint and page-aligned.
+        self._next_base += (length + page_size - 1) // page_size * page_size
+        self.regions[region.rkey] = region
+        return region
+
+    def lookup(self, rkey: int) -> Optional[MemoryRegion]:
+        """Find a valid region by rkey (None if unknown or deregistered)."""
+        region = self.regions.get(rkey)
+        if region is None or not region.valid:
+            return None
+        return region

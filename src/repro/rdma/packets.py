@@ -1,0 +1,258 @@
+"""Builders for complete RoCEv2 packets.
+
+Shared by the RNIC (responses), the native host requester (baseline), and —
+crucially — the switch data plane (:mod:`repro.core.rocegen`), which crafts
+exactly these packets out of P4 actions on real hardware.
+
+All builders produce structured :class:`~repro.net.packet.Packet` objects
+with an Ethernet/IPv4/UDP/BTH stack and an ICRC trailer.  By default the
+ICRC value is left zero (computing CRC32 per simulated packet is wasted
+work); pass ``compute_icrc=True`` where integrity actually matters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.addresses import Ipv4Address, MacAddress
+from ..net.headers import (
+    ETHERTYPE_ROCEV1,
+    ROCEV2_UDP_PORT,
+    EthernetHeader,
+    Ipv4Header,
+    UdpHeader,
+)
+from ..net.packet import Packet
+from .constants import AethSyndrome, Opcode
+from .headers import (
+    AethHeader,
+    AtomicAckEthHeader,
+    AtomicEthHeader,
+    BthHeader,
+    GrhHeader,
+    IcrcTrailer,
+    RethHeader,
+    gid_from_ipv4,
+)
+from .qp import QueuePair
+
+
+def _icrc_for(packet: Packet) -> IcrcTrailer:
+    """Compute the ICRC over the RoCE section (BTH onward) of *packet*."""
+    bth_index = packet.index_of(BthHeader)
+    roce_bytes = (
+        b"".join(h.pack() for h in packet.headers[bth_index:]) + packet.payload
+    )
+    return IcrcTrailer.compute(roce_bytes)
+
+
+def _base_packet(
+    src_mac: MacAddress,
+    dst_mac: MacAddress,
+    src_ip: Ipv4Address,
+    dst_ip: Ipv4Address,
+    bth: BthHeader,
+    src_udp_port: int = 49152,
+) -> Packet:
+    """Assemble the Eth/IPv4/UDP/BTH scaffolding every RoCE packet shares."""
+    packet = Packet(
+        headers=[
+            EthernetHeader(dst=dst_mac, src=src_mac),
+            Ipv4Header(src=src_ip, dst=dst_ip, protocol=Ipv4Header.PROTO_UDP),
+            UdpHeader(src_port=src_udp_port, dst_port=ROCEV2_UDP_PORT),
+            bth,
+        ],
+        trailers=[IcrcTrailer()],
+    )
+    return packet
+
+
+def _finish(packet: Packet, compute_icrc: bool) -> Packet:
+    packet.fixup_lengths()
+    if compute_icrc:
+        packet.trailers[0] = _icrc_for(packet)
+    return packet
+
+
+def build_write_request(
+    qp: QueuePair,
+    remote_address: int,
+    rkey: int,
+    data: bytes,
+    psn: Optional[int] = None,
+    ack_request: bool = True,
+    compute_icrc: bool = False,
+) -> Packet:
+    """RDMA WRITE (only) request carrying *data* to ``remote_address``."""
+    if not qp.is_connected:
+        raise RuntimeError(f"QP {qp.qpn} is not connected")
+    psn = qp.allocate_psn() if psn is None else psn
+    bth = BthHeader(
+        opcode=Opcode.RDMA_WRITE_ONLY,
+        dest_qp=qp.dest_qpn,
+        psn=psn,
+        ack_request=ack_request,
+    )
+    packet = _base_packet(
+        qp.local_mac, qp.dest_mac, qp.local_ip, qp.dest_ip, bth
+    )
+    packet.headers.append(
+        RethHeader(virtual_address=remote_address, rkey=rkey, dma_length=len(data))
+    )
+    packet.payload = bytes(data)
+    return _finish(packet, compute_icrc)
+
+
+def build_read_request(
+    qp: QueuePair,
+    remote_address: int,
+    rkey: int,
+    length: int,
+    psn: Optional[int] = None,
+    compute_icrc: bool = False,
+) -> Packet:
+    """RDMA READ request for *length* bytes at ``remote_address``."""
+    if not qp.is_connected:
+        raise RuntimeError(f"QP {qp.qpn} is not connected")
+    psn = qp.allocate_psn() if psn is None else psn
+    bth = BthHeader(
+        opcode=Opcode.RDMA_READ_REQUEST, dest_qp=qp.dest_qpn, psn=psn
+    )
+    packet = _base_packet(
+        qp.local_mac, qp.dest_mac, qp.local_ip, qp.dest_ip, bth
+    )
+    packet.headers.append(
+        RethHeader(virtual_address=remote_address, rkey=rkey, dma_length=length)
+    )
+    return _finish(packet, compute_icrc)
+
+
+def build_fetch_add_request(
+    qp: QueuePair,
+    remote_address: int,
+    rkey: int,
+    add_value: int,
+    psn: Optional[int] = None,
+    compute_icrc: bool = False,
+) -> Packet:
+    """RDMA atomic Fetch-and-Add of *add_value* at ``remote_address``."""
+    if not qp.is_connected:
+        raise RuntimeError(f"QP {qp.qpn} is not connected")
+    psn = qp.allocate_psn() if psn is None else psn
+    bth = BthHeader(opcode=Opcode.FETCH_ADD, dest_qp=qp.dest_qpn, psn=psn)
+    packet = _base_packet(
+        qp.local_mac, qp.dest_mac, qp.local_ip, qp.dest_ip, bth
+    )
+    packet.headers.append(
+        AtomicEthHeader(
+            virtual_address=remote_address, rkey=rkey, swap_add=add_value
+        )
+    )
+    return _finish(packet, compute_icrc)
+
+
+def _response_scaffold(
+    request: Packet, opcode: Opcode, responder_qp: QueuePair
+) -> Packet:
+    """Build a response packet addressed back at the requester."""
+    req_eth = request.eth
+    req_ip = request.ipv4
+    req_udp = request.udp
+    req_bth = request.require(BthHeader)
+    bth = BthHeader(
+        opcode=opcode,
+        # Responses go to the requester's QP.
+        dest_qp=responder_qp.dest_qpn if responder_qp.dest_qpn is not None else 0,
+        psn=req_bth.psn,
+    )
+    packet = _base_packet(
+        src_mac=req_eth.dst,
+        dst_mac=req_eth.src,
+        src_ip=req_ip.dst,
+        dst_ip=req_ip.src,
+        bth=bth,
+        src_udp_port=req_udp.src_port,
+    )
+    return packet
+
+
+def build_read_response(
+    request: Packet,
+    responder_qp: QueuePair,
+    data: bytes,
+    compute_icrc: bool = False,
+) -> Packet:
+    """READ response (only) carrying *data*, mirrored from *request*."""
+    packet = _response_scaffold(
+        request, Opcode.RDMA_READ_RESPONSE_ONLY, responder_qp
+    )
+    packet.headers.append(
+        AethHeader(syndrome=AethSyndrome.ACK, msn=responder_qp.msn)
+    )
+    packet.payload = bytes(data)
+    return _finish(packet, compute_icrc)
+
+
+def build_ack(
+    request: Packet,
+    responder_qp: QueuePair,
+    syndrome: int = AethSyndrome.ACK,
+    psn_override: Optional[int] = None,
+    compute_icrc: bool = False,
+) -> Packet:
+    """ACK or NAK (per *syndrome*) for *request*.
+
+    A PSN-sequence-error NAK carries the responder's *expected* PSN in the
+    BTH (``psn_override``), which is how a real requester learns where to
+    resume — the primitives use it to resynchronize their soft QPs.
+    """
+    packet = _response_scaffold(request, Opcode.ACKNOWLEDGE, responder_qp)
+    if psn_override is not None:
+        packet.require(BthHeader).psn = psn_override
+    packet.headers.append(AethHeader(syndrome=syndrome, msn=responder_qp.msn))
+    return _finish(packet, compute_icrc)
+
+
+def convert_to_rocev1(packet: Packet) -> Packet:
+    """Reframe a RoCEv2 packet as RoCEv1 (Ethernet / GRH / BTH ...).
+
+    RoCEv1 replaces the IPv4+UDP pair (28 B) with a 40 B Global Route
+    Header under ethertype 0x8915 — the origin of the paper's "52 bytes in
+    the case of RoCEv1".  Returns a new packet; the input is not modified.
+    """
+    v1 = packet.clone()
+    eth = v1.require(EthernetHeader)
+    ip = v1.require(Ipv4Header)
+    grh = GrhHeader(
+        src_gid=gid_from_ipv4(ip.src),
+        dst_gid=gid_from_ipv4(ip.dst),
+        hop_limit=ip.ttl,
+    )
+    bth_index = v1.index_of(BthHeader)
+    v1.headers = [
+        EthernetHeader(dst=eth.dst, src=eth.src, ethertype=ETHERTYPE_ROCEV1),
+        grh,
+        *v1.headers[bth_index:],
+    ]
+    # GRH payload length covers everything after the GRH, ICRC included.
+    grh.payload_length = (
+        sum(h.byte_len for h in v1.headers[2:])
+        + len(v1.payload)
+        + v1.trailer_len
+    )
+    return v1
+
+
+def build_atomic_ack(
+    request: Packet,
+    responder_qp: QueuePair,
+    original_value: int,
+    compute_icrc: bool = False,
+) -> Packet:
+    """Atomic acknowledgement carrying the pre-operation value."""
+    packet = _response_scaffold(request, Opcode.ATOMIC_ACKNOWLEDGE, responder_qp)
+    packet.headers.append(
+        AethHeader(syndrome=AethSyndrome.ACK, msn=responder_qp.msn)
+    )
+    packet.headers.append(AtomicAckEthHeader(original_data=original_value))
+    return _finish(packet, compute_icrc)

@@ -1,0 +1,578 @@
+"""The RDMA NIC model.
+
+This terminates RoCEv2 the way a commodity RNIC (the paper used Mellanox
+CX-3 Pro) does, entirely without host CPU involvement:
+
+* **Responder path** — validates the destination QP, the PSN sequence, the
+  rkey and bounds; executes WRITE / READ / Fetch-and-Add against registered
+  host DRAM; and generates ACK / READ-response / atomic-ACK packets.
+* **Requester path** — a verbs-style ``post`` API used by the native
+  host-to-host RDMA baseline (§5's comparison point) with PSN tracking,
+  completion callbacks, optional retransmission and a duplicate-atomic
+  response cache.
+
+Timing model (see DESIGN.md §5): a per-message processing cost, a DMA
+engine with bounded payload bandwidth (PCIe-limited, the reason native
+40 GbE RDMA tops out around 35–36 Gbps), an atomic engine with a bounded
+operation rate and bounded depth (the reason the paper's switch must cap
+outstanding Fetch-and-Adds), and a finite receive buffer (the reason
+offered load beyond the NIC's ability is *dropped*, as §5 observes).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional
+
+from ..net.addresses import Ipv4Address, MacAddress
+from ..net.node import Interface
+from ..net.packet import Packet
+from ..sim.simulator import Simulator
+from ..sim.units import gbps, transmission_delay_ns, usec
+from .constants import (
+    ATOMIC_OPERAND_BYTES,
+    AethSyndrome,
+    Opcode,
+    REQUEST_OPCODES,
+    psn_distance,
+)
+from .headers import AethHeader, AtomicAckEthHeader, AtomicEthHeader, BthHeader, RethHeader
+from .memory import Dram, MemoryAccessError
+from .packets import (
+    build_ack,
+    build_atomic_ack,
+    build_fetch_add_request,
+    build_read_request,
+    build_read_response,
+    build_write_request,
+)
+from .qp import Completion, QpState, QueuePair, WorkRequest
+
+
+@dataclass
+class RnicConfig:
+    """Timing and capacity parameters of the modelled RNIC."""
+
+    #: Fixed per-message processing latency (parsing, QP lookup, PCIe doorbells).
+    rx_processing_ns: float = 300.0
+    #: Extra latency for a READ's DMA fetch from host DRAM over PCIe.
+    dma_read_latency_ns: float = 500.0
+    #: Inbound (WRITE) payload DMA bandwidth cap.  PCIe-posted writes on
+    #: CX-3-class NICs sustain less than line rate — this is why the paper
+    #: measures 34.1 Gbps lossless stores against a 40 GbE link.
+    dma_write_bandwidth_bps: float = gbps(35.6)
+    #: Outbound (READ-response) payload DMA bandwidth cap.  PCIe reads
+    #: stream faster than posted writes, leaving the 40 GbE link as the
+    #: binding constraint for loads (§5's 37.4 Gbps forward rate).
+    dma_read_bandwidth_bps: float = gbps(43.5)
+    #: Fixed DMA engine cost per message (descriptor fetch, completion);
+    #: dominates small messages and sets the sustained-WRITE knee.
+    dma_per_message_ns: float = 16.0
+    #: Atomic (Fetch-and-Add) execution rate, operations per second
+    #: (CX-3-class NICs sustain 2–3 Mops; 2.4 Mops reproduces the ~2.1 Gbps
+    #: Fetch-and-Add request stream of Fig. 3b).
+    atomic_rate_ops: float = 2.4e6
+    #: Max atomics queued in the NIC's atomic engine before drops.
+    max_outstanding_atomics: int = 16
+    #: On-NIC receive buffer; offered load beyond service rate overflows it.
+    rx_buffer_bytes: int = 512 * 1024
+    #: Requester: max in-flight work requests before local queueing.
+    max_outstanding_requests: int = 128
+    #: Requester: retransmit timeout (used only when enabled).
+    retransmit_timeout_ns: float = usec(500)
+    enable_retransmit: bool = False
+    max_retries: int = 3
+
+
+@dataclass
+class RnicStats:
+    """Counters exposed for experiments and assertions."""
+
+    requests_received: int = 0
+    writes_executed: int = 0
+    reads_executed: int = 0
+    atomics_executed: int = 0
+    responses_sent: int = 0
+    acks_sent: int = 0
+    naks_sent: int = 0
+    duplicates: int = 0
+    rx_overflow_drops: int = 0
+    atomic_overflow_drops: int = 0
+    unknown_qp_drops: int = 0
+    access_errors: int = 0
+    sequence_errors: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    retransmissions: int = 0
+
+
+class Rnic:
+    """An RDMA-capable NIC bound to one interface and one DRAM."""
+
+    _qpn_counter = itertools.count(0x11)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        interface: Interface,
+        dram: Dram,
+        config: Optional[RnicConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.interface = interface
+        self.dram = dram
+        self.config = config if config is not None else RnicConfig()
+        self.stats = RnicStats()
+        self.qps: Dict[int, QueuePair] = {}
+        # Responder pipeline.
+        self._rx_queue: Deque[Packet] = deque()
+        self._rx_backlog_bytes = 0
+        self._rx_busy = False
+        self._dma_free_at = 0.0
+        self._atomic_free_at = 0.0
+        self._atomic_inflight = 0
+        # Per-QP replay cache of recent atomic responses (IB keeps one so a
+        # retried Fetch-and-Add is not applied twice).
+        self._atomic_replay: Dict[int, OrderedDict] = {}
+        # Per-QP response-ordering floor (responses leave in request order).
+        self._resp_floor: Dict[int, float] = {}
+        # Requester state.
+        self._outstanding: "OrderedDict[tuple, WorkRequest]" = OrderedDict()
+        self._pending: Deque[WorkRequest] = deque()
+        self._retry_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ setup
+
+    @property
+    def ip(self) -> Ipv4Address:
+        if self.interface.ip is None:
+            raise RuntimeError(f"{self.name}: interface has no IP address")
+        return self.interface.ip
+
+    @property
+    def mac(self) -> MacAddress:
+        return self.interface.mac
+
+    def create_qp(self, qpn: Optional[int] = None, initial_psn: int = 0) -> QueuePair:
+        """Create a queue pair bound to this RNIC's interface identity."""
+        if qpn is None:
+            qpn = next(self._qpn_counter)
+        if qpn in self.qps:
+            raise ValueError(f"{self.name}: QPN {qpn} already exists")
+        qp = QueuePair(qpn, self.ip, self.mac, initial_psn=initial_psn)
+        self.qps[qpn] = qp
+        self._atomic_replay[qpn] = OrderedDict()
+        return qp
+
+    # ----------------------------------------------------------- packet entry
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Entry point: the owning host delivers RoCE packets here."""
+        bth = packet.find(BthHeader)
+        if bth is None:
+            return
+        if bth.opcode in REQUEST_OPCODES:
+            self._accept_request(packet, bth)
+        else:
+            self._handle_response(packet, bth)
+
+    # ---------------------------------------------------------- responder path
+
+    def _accept_request(self, packet: Packet, bth: BthHeader) -> None:
+        self.stats.requests_received += 1
+        size = packet.buffer_len
+        if self._rx_backlog_bytes + size > self.config.rx_buffer_bytes:
+            self.stats.rx_overflow_drops += 1
+            return
+        self._rx_queue.append(packet)
+        self._rx_backlog_bytes += size
+        if not self._rx_busy:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        if not self._rx_queue:
+            self._rx_busy = False
+            return
+        self._rx_busy = True
+        packet = self._rx_queue.popleft()
+        self.sim.schedule(
+            self.config.rx_processing_ns, self._process_request, packet
+        )
+
+    def _release_buffer(self, packet: Packet, at_ns: Optional[float] = None) -> None:
+        """Free the packet's receive-buffer bytes, now or at *at_ns*.
+
+        Buffer space is held until the operation's DMA completes — this is
+        what makes sustained overload overflow the NIC, as §5 observes
+        ("RDMA requests were occasionally dropped at the NIC").
+        """
+        if at_ns is None or at_ns <= self.sim.now:
+            self._rx_backlog_bytes -= packet.buffer_len
+        else:
+            self.sim.schedule(
+                at_ns - self.sim.now, self._release_buffer, packet
+            )
+
+    def _process_request(self, packet: Packet) -> None:
+        # Pipelined: pull the next message in as soon as this one clears
+        # header processing (the DMA/atomic engines serialize behind it).
+        self._serve_next()
+        bth = packet.require(BthHeader)
+        qp = self.qps.get(bth.dest_qp)
+        if qp is None or qp.state not in (QpState.RTR, QpState.RTS):
+            self.stats.unknown_qp_drops += 1
+            self._release_buffer(packet)
+            return
+        qp.requests_received += 1
+        distance = psn_distance(qp.expected_psn, bth.psn)
+        if distance == 0:
+            self._execute(packet, bth, qp)
+        elif distance < (1 << 23):
+            # Future PSN: at least one request was lost.  NAK with the
+            # expected PSN so the requester can resynchronize.
+            self.stats.sequence_errors += 1
+            self._release_buffer(packet)
+            self._send_nak(
+                packet,
+                qp,
+                AethSyndrome.NAK_PSN_SEQUENCE_ERROR,
+                psn_override=qp.expected_psn,
+            )
+        else:
+            # Past PSN: a duplicate (requester retransmission).
+            self.stats.duplicates += 1
+            self._release_buffer(packet)
+            self._replay(packet, bth, qp)
+
+    def _execute(self, packet: Packet, bth: BthHeader, qp: QueuePair) -> None:
+        opcode = Opcode(bth.opcode)
+        try:
+            if opcode == Opcode.RDMA_WRITE_ONLY:
+                self._execute_write(packet, bth, qp)
+            elif opcode == Opcode.RDMA_READ_REQUEST:
+                self._execute_read(packet, bth, qp)
+            elif opcode == Opcode.FETCH_ADD:
+                self._execute_fetch_add(packet, bth, qp)
+            else:
+                self.stats.naks_sent += 1
+                self._release_buffer(packet)
+                self._send_nak(packet, qp, AethSyndrome.NAK_INVALID_REQUEST)
+        except MemoryAccessError:
+            self.stats.access_errors += 1
+            qp.advance_expected()
+            self._release_buffer(packet)
+            self._send_nak(packet, qp, AethSyndrome.NAK_REMOTE_ACCESS_ERROR)
+
+    def _region(self, rkey: int):
+        region = self.dram.lookup(rkey)
+        if region is None:
+            raise MemoryAccessError(f"unknown rkey {rkey:#x}")
+        return region
+
+    def _execute_write(self, packet: Packet, bth: BthHeader, qp: QueuePair) -> None:
+        reth = packet.require(RethHeader)
+        region = self._region(reth.rkey)
+        data = packet.payload[: reth.dma_length]
+        region.write(reth.virtual_address, data)
+        self.stats.writes_executed += 1
+        self.stats.bytes_written += len(data)
+        qp.advance_expected()
+        finish = self._reserve_dma(
+            len(data), self.config.dma_write_bandwidth_bps
+        )
+        self._release_buffer(packet, at_ns=finish)
+        if bth.ack_request:
+            response = build_ack(packet, qp)
+            self._send_response_at(finish, response, qp)
+
+    def _execute_read(self, packet: Packet, bth: BthHeader, qp: QueuePair) -> None:
+        reth = packet.require(RethHeader)
+        region = self._region(reth.rkey)
+        data = region.read(reth.virtual_address, reth.dma_length)
+        self.stats.reads_executed += 1
+        self.stats.bytes_read += len(data)
+        qp.advance_expected()
+        finish = self._reserve_dma(
+            len(data),
+            self.config.dma_read_bandwidth_bps,
+            extra_ns=self.config.dma_read_latency_ns,
+        )
+        self._release_buffer(packet, at_ns=finish)
+        response = build_read_response(packet, qp, data)
+        self._send_response_at(finish, response, qp)
+
+    def _execute_fetch_add(self, packet: Packet, bth: BthHeader, qp: QueuePair) -> None:
+        if self._atomic_inflight >= self.config.max_outstanding_atomics:
+            # The atomic engine is saturated; a real NIC drops or stalls the
+            # wire.  The paper's switch-side primitive exists to avoid this.
+            self.stats.atomic_overflow_drops += 1
+            self._release_buffer(packet)
+            return
+        atomic = packet.require(AtomicEthHeader)
+        region = self._region(atomic.rkey)  # raises → NAK before queueing
+        # The memory effect applies now, in request order (RC semantics);
+        # the bounded atomic *engine* only determines when the response can
+        # leave and when the request's buffer is retired.
+        original = region.fetch_add(atomic.virtual_address, atomic.swap_add)
+        self.stats.atomics_executed += 1
+        qp.advance_expected()
+        cache = self._atomic_replay[qp.qpn]
+        cache[bth.psn] = original
+        while len(cache) > self.config.max_outstanding_atomics:
+            cache.popitem(last=False)
+        self._atomic_inflight += 1
+        start = max(self.sim.now, self._atomic_free_at)
+        service_ns = 1e9 / self.config.atomic_rate_ops
+        finish = start + service_ns
+        self._atomic_free_at = finish
+        self.sim.schedule(finish - self.sim.now, self._retire_atomic, packet)
+        response = build_atomic_ack(packet, qp, original)
+        self._send_response_at(finish, response, qp)
+
+    def _retire_atomic(self, packet: Packet) -> None:
+        self._atomic_inflight -= 1
+        self._release_buffer(packet)
+
+    def _replay(self, packet: Packet, bth: BthHeader, qp: QueuePair) -> None:
+        """Serve a duplicate request idempotently (requester retried)."""
+        opcode = Opcode(bth.opcode)
+        if opcode == Opcode.RDMA_READ_REQUEST:
+            # Reads are safe to re-execute.
+            reth = packet.require(RethHeader)
+            try:
+                region = self._region(reth.rkey)
+                data = region.read(reth.virtual_address, reth.dma_length)
+            except MemoryAccessError:
+                self._send_nak(packet, qp, AethSyndrome.NAK_REMOTE_ACCESS_ERROR)
+                return
+            finish = self._reserve_dma(
+                len(data),
+                self.config.dma_read_bandwidth_bps,
+                extra_ns=self.config.dma_read_latency_ns,
+            )
+            self._send_response_at(finish, build_read_response(packet, qp, data), qp)
+        elif opcode == Opcode.FETCH_ADD:
+            cached = self._atomic_replay[qp.qpn].get(bth.psn)
+            if cached is not None:
+                self._send_response_at(
+                    self.sim.now, build_atomic_ack(packet, qp, cached), qp
+                )
+            # Not in the replay cache: silently drop; the requester errors out.
+        else:
+            # Duplicate WRITE: already applied; just re-ACK.
+            if bth.ack_request:
+                self._send_response_at(self.sim.now, build_ack(packet, qp), qp)
+
+    def _reserve_dma(
+        self, payload_bytes: int, bandwidth_bps: float, extra_ns: float = 0.0
+    ) -> float:
+        """Reserve the DMA engine for a payload; returns the finish time.
+
+        The engine serializes per-message setup plus byte movement;
+        ``extra_ns`` (e.g. the PCIe read round trip) is pure latency that
+        pipelines across messages, so it is added *after* the engine is
+        released — otherwise READ throughput would be latency-bound.
+        """
+        start = max(self.sim.now, self._dma_free_at)
+        busy = self.config.dma_per_message_ns + transmission_delay_ns(
+            payload_bytes, bandwidth_bps
+        )
+        self._dma_free_at = start + busy
+        return start + busy + extra_ns
+
+    def _send_response_at(self, when_ns: float, response: Packet, qp: QueuePair) -> None:
+        """Emit *response* no earlier than ``when_ns``, in request order.
+
+        RC responders answer strictly in request order per QP; without the
+        ordering floor a WRITE's ACK could overtake a slower READ response
+        or atomic ACK, and the requester's cumulative-ACK handling would
+        complete the wrong work requests.  Requests are processed serially,
+        so calls arrive here in request order; the floor makes the emission
+        times non-decreasing and same-time events fire FIFO.
+        """
+        qp.responses_sent += 1
+        self.stats.responses_sent += 1
+        bth = response.require(BthHeader)
+        if bth.opcode == Opcode.ACKNOWLEDGE:
+            self.stats.acks_sent += 1
+        when_ns = max(when_ns, self.sim.now, self._resp_floor.get(qp.qpn, 0.0))
+        self._resp_floor[qp.qpn] = when_ns
+        self.sim.schedule(when_ns - self.sim.now, self.interface.send, response)
+
+    def _send_nak(
+        self,
+        packet: Packet,
+        qp: QueuePair,
+        syndrome: int,
+        psn_override: Optional[int] = None,
+    ) -> None:
+        self.stats.naks_sent += 1
+        qp.naks_sent += 1
+        self._send_response_at(
+            self.sim.now,
+            build_ack(packet, qp, syndrome=syndrome, psn_override=psn_override),
+            qp,
+        )
+
+    # --------------------------------------------------------- requester path
+
+    def post(self, qp: QueuePair, wr: WorkRequest) -> None:
+        """Post a one-sided work request on *qp* (verbs ``ibv_post_send``)."""
+        if not qp.is_connected:
+            raise RuntimeError(f"QP {qp.qpn} is not connected")
+        wr.post_time_ns = self.sim.now
+        if len(self._outstanding) >= self.config.max_outstanding_requests:
+            self._pending.append((qp, wr))
+            return
+        self._transmit(qp, wr)
+
+    def _transmit(self, qp: QueuePair, wr: WorkRequest) -> None:
+        wr.psn = qp.allocate_psn()
+        packet = self._build_request(qp, wr)
+        self._outstanding[(qp.qpn, wr.psn)] = wr
+        self.interface.send(packet)
+        if self.config.enable_retransmit:
+            self.sim.schedule(
+                self.config.retransmit_timeout_ns, self._maybe_retry, qp, wr
+            )
+
+    def _build_request(self, qp: QueuePair, wr: WorkRequest) -> Packet:
+        if wr.opcode == Opcode.RDMA_WRITE_ONLY:
+            return build_write_request(
+                qp, wr.remote_address, wr.rkey, wr.data, psn=wr.psn
+            )
+        if wr.opcode == Opcode.RDMA_READ_REQUEST:
+            return build_read_request(
+                qp, wr.remote_address, wr.rkey, wr.length, psn=wr.psn
+            )
+        if wr.opcode == Opcode.FETCH_ADD:
+            return build_fetch_add_request(
+                qp, wr.remote_address, wr.rkey, wr.length, psn=wr.psn
+            )
+        raise ValueError(f"unsupported requester opcode: {wr.opcode}")
+
+    def _maybe_retry(self, qp: QueuePair, wr: WorkRequest) -> None:
+        key = (qp.qpn, wr.psn)
+        if key not in self._outstanding:
+            return  # completed in the meantime
+        retries = self._retry_counts.get(wr.wr_id, 0)
+        if retries >= self.config.max_retries:
+            del self._outstanding[key]
+            self._complete(
+                wr, Completion(wr.wr_id, wr.opcode, success=False,
+                               completion_time_ns=self.sim.now, context=wr.context)
+            )
+            return
+        self._retry_counts[wr.wr_id] = retries + 1
+        self.stats.retransmissions += 1
+        packet = self._build_request(qp, wr)
+        self.interface.send(packet)
+        self.sim.schedule(
+            self.config.retransmit_timeout_ns, self._maybe_retry, qp, wr
+        )
+
+    def _handle_response(self, packet: Packet, bth: BthHeader) -> None:
+        opcode = Opcode(bth.opcode)
+        # Responses address the requester QP; find which local QP they belong
+        # to by QPN.
+        qp = self.qps.get(bth.dest_qp)
+        if qp is None:
+            self.stats.unknown_qp_drops += 1
+            return
+        aeth = packet.find(AethHeader)
+        if aeth is not None and AethSyndrome.is_nak(aeth.syndrome):
+            if aeth.syndrome == AethSyndrome.NAK_PSN_SEQUENCE_ERROR:
+                # The NAK carries the responder's expected PSN; everything
+                # from there on was rejected (we fail rather than replay —
+                # callers that want recovery enable retransmission).
+                rejected = [
+                    key
+                    for key in self._outstanding
+                    if key[0] == qp.qpn
+                    and psn_distance(bth.psn, key[1]) < (1 << 23)
+                ]
+                for key in rejected:
+                    wr = self._outstanding.pop(key)
+                    self._complete(
+                        wr,
+                        Completion(
+                            wr.wr_id, wr.opcode, success=False,
+                            syndrome=aeth.syndrome,
+                            completion_time_ns=self.sim.now,
+                            context=wr.context,
+                        ),
+                    )
+            else:
+                self._complete_psn(
+                    qp, bth.psn, success=False, syndrome=aeth.syndrome
+                )
+            return
+        if opcode == Opcode.RDMA_READ_RESPONSE_ONLY:
+            self._complete_psn(qp, bth.psn, data=packet.payload)
+        elif opcode == Opcode.ATOMIC_ACKNOWLEDGE:
+            atomic_ack = packet.require(AtomicAckEthHeader)
+            self._complete_psn(
+                qp, bth.psn, original_value=atomic_ack.original_data
+            )
+        elif opcode == Opcode.ACKNOWLEDGE:
+            # Coalesced ACK: completes every outstanding WR up to this PSN.
+            acked = [
+                key
+                for key in self._outstanding
+                if key[0] == qp.qpn
+                and psn_distance(key[1], bth.psn) < (1 << 23)
+            ]
+            for key in acked:
+                wr = self._outstanding.pop(key)
+                self._complete(
+                    wr,
+                    Completion(
+                        wr.wr_id, wr.opcode, success=True,
+                        completion_time_ns=self.sim.now, context=wr.context,
+                    ),
+                )
+
+    def _complete_psn(
+        self,
+        qp: QueuePair,
+        psn: int,
+        success: bool = True,
+        data: bytes = b"",
+        original_value: int = 0,
+        syndrome: Optional[int] = None,
+    ) -> None:
+        wr = self._outstanding.pop((qp.qpn, psn), None)
+        if wr is None:
+            return
+        self._complete(
+            wr,
+            Completion(
+                wr.wr_id,
+                wr.opcode,
+                success=success,
+                data=data,
+                original_value=original_value,
+                syndrome=syndrome,
+                completion_time_ns=self.sim.now,
+                context=wr.context,
+            ),
+        )
+
+    def _complete(self, wr: WorkRequest, completion: Completion) -> None:
+        self._retry_counts.pop(wr.wr_id, None)
+        if self._pending and len(self._outstanding) < self.config.max_outstanding_requests:
+            next_qp, next_wr = self._pending.popleft()
+            self._transmit(next_qp, next_wr)
+        if wr.callback is not None:
+            wr.callback(completion)
+
+    @property
+    def outstanding_requests(self) -> int:
+        return len(self._outstanding)
+
+    def __repr__(self) -> str:
+        return f"<Rnic {self.name} qps={len(self.qps)}>"

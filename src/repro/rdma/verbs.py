@@ -1,0 +1,100 @@
+"""Verbs-style convenience layer over the RNIC model.
+
+Mirrors how applications use libibverbs: register memory, create queue
+pairs, exchange connection info out of band, then post one-sided
+operations.  Used directly by the native host-to-host RDMA baseline and by
+tests; the switch data plane uses the lower-level pieces instead (it has no
+verbs library — that is the paper's point).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .constants import Opcode
+from .qp import Completion, QueuePair, WorkRequest
+from .rnic import Rnic
+
+
+def connect_qps(qp_a: QueuePair, qp_b: QueuePair) -> None:
+    """Wire two queue pairs together (the out-of-band connection exchange)."""
+    qp_a.connect(
+        dest_qpn=qp_b.qpn,
+        dest_ip=qp_b.local_ip,
+        dest_mac=qp_b.local_mac,
+        dest_initial_psn=qp_b.next_psn,
+    )
+    qp_b.connect(
+        dest_qpn=qp_a.qpn,
+        dest_ip=qp_a.local_ip,
+        dest_mac=qp_a.local_mac,
+        dest_initial_psn=qp_a.next_psn,
+    )
+
+
+class RdmaClient:
+    """A requester endpoint: one RNIC + one connected QP."""
+
+    def __init__(self, rnic: Rnic, qp: QueuePair) -> None:
+        self.rnic = rnic
+        self.qp = qp
+
+    def write(
+        self,
+        remote_address: int,
+        rkey: int,
+        data: bytes,
+        callback: Optional[Callable[[Completion], None]] = None,
+        context: object = None,
+    ) -> WorkRequest:
+        """Post an RDMA WRITE; returns the work request."""
+        wr = WorkRequest(
+            opcode=Opcode.RDMA_WRITE_ONLY,
+            remote_address=remote_address,
+            rkey=rkey,
+            data=data,
+            callback=callback,
+            context=context,
+        )
+        self.rnic.post(self.qp, wr)
+        return wr
+
+    def read(
+        self,
+        remote_address: int,
+        rkey: int,
+        length: int,
+        callback: Optional[Callable[[Completion], None]] = None,
+        context: object = None,
+    ) -> WorkRequest:
+        """Post an RDMA READ; the completion carries the data."""
+        wr = WorkRequest(
+            opcode=Opcode.RDMA_READ_REQUEST,
+            remote_address=remote_address,
+            rkey=rkey,
+            length=length,
+            callback=callback,
+            context=context,
+        )
+        self.rnic.post(self.qp, wr)
+        return wr
+
+    def fetch_add(
+        self,
+        remote_address: int,
+        rkey: int,
+        add_value: int,
+        callback: Optional[Callable[[Completion], None]] = None,
+        context: object = None,
+    ) -> WorkRequest:
+        """Post an atomic Fetch-and-Add of *add_value*."""
+        wr = WorkRequest(
+            opcode=Opcode.FETCH_ADD,
+            remote_address=remote_address,
+            rkey=rkey,
+            length=add_value,
+            callback=callback,
+            context=context,
+        )
+        self.rnic.post(self.qp, wr)
+        return wr

@@ -1,0 +1,53 @@
+"""Event objects for the discrete-event simulator.
+
+An :class:`Event` is a callback scheduled at an absolute simulated time.
+Events are totally ordered by ``(time, sequence)`` where the sequence number
+is assigned at scheduling time, so two events scheduled for the same instant
+fire in FIFO order.  This makes runs deterministic, an invariant the test
+suite checks explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.sim.simulator.Simulator.schedule`;
+    user code normally only keeps a reference in order to :meth:`cancel`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when it is popped.
+
+        Cancelling is O(1); the event stays in the heap until its time
+        comes, which is the standard lazy-deletion approach.
+        Cancelling an already-fired or already-cancelled event is a no-op.
+        """
+        self.cancelled = True
+
+    # Heap ordering -- time first, then FIFO by sequence number.
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.1f}ns #{self.seq} {name}{state}>"

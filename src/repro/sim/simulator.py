@@ -1,0 +1,146 @@
+"""The discrete-event simulator driving every experiment in this library.
+
+The simulator is a classic calendar loop: a binary heap of
+:class:`~repro.sim.events.Event` objects, a monotonically advancing clock in
+nanoseconds, and ``run`` variants that drain the heap up to a deadline or an
+event budget.  All network elements (links, switches, RNICs, hosts) interact
+only through scheduled events, so a simulation is fully reproducible given
+its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from .events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulator (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A discrete-event simulation kernel.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(100.0, print, "hello at t=100ns")
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._running: bool = False
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(
+        self, delay_ns: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule *callback(*args)* to fire ``delay_ns`` from now.
+
+        Returns the :class:`Event`, which the caller may :meth:`~Event.cancel`.
+        A negative delay is an error; a zero delay fires after all events
+        already scheduled for the current instant (FIFO).
+        """
+        if delay_ns < 0:
+            raise SimulationError(
+                f"cannot schedule into the past (delay={delay_ns}ns)"
+            )
+        return self.schedule_at(self._now + delay_ns, callback, *args)
+
+    def schedule_at(
+        self, time_ns: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule *callback(*args)* at absolute time ``time_ns``."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns}ns, now is t={self._now}ns"
+            )
+        event = Event(time_ns, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the heap is empty.
+        Cancelled events are skipped silently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until_ns: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the heap is empty, a deadline, or an event budget.
+
+        :param until_ns: absolute stop time; events scheduled strictly after
+            it remain pending and the clock is advanced to ``until_ns``.
+        :param max_events: stop after firing this many events (a safety
+            valve for runaway feedback loops in experiments).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    break
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until_ns is not None and head.time > until_ns:
+                    break
+                if self.step():
+                    fired += 1
+        finally:
+            self._running = False
+        if until_ns is not None and self._now < until_ns:
+            self._now = until_ns
+
+    def run_for(self, duration_ns: float, **kwargs: Any) -> None:
+        """Run for ``duration_ns`` of simulated time from the current clock."""
+        self.run(until_ns=self._now + duration_ns, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Simulator t={self._now:.1f}ns pending={len(self._heap)} "
+            f"fired={self._events_processed}>"
+        )

@@ -1,0 +1,134 @@
+"""Hash externs available to data-plane programs (CRC16/CRC32 family).
+
+Tofino-class ASICs expose CRC-based hash units to the match-action
+pipeline; programs use them for ECMP, for indexing register arrays, and —
+in this paper — for computing the remote-table entry index from a packet's
+5-tuple (§4, lookup table primitive).
+
+CRC16 (CCITT, reflected: the classic ``crc16`` polynomial 0x8005 variant
+used by P4 targets) is implemented table-driven from scratch; CRC32
+delegates to :func:`zlib.crc32` (the same IEEE 802.3 polynomial hardware
+uses).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Tuple, Union
+
+from ..net.headers import Ipv4Header, UdpHeader
+from ..net.packet import Packet
+
+FieldValue = Union[int, bytes]
+
+
+def _build_crc16_table(poly: int = 0xA001) -> Tuple[int, ...]:
+    """Build the reflected CRC-16 lookup table (poly 0x8005 reflected)."""
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ poly
+            else:
+                crc >>= 1
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC16_TABLE = _build_crc16_table()
+
+
+def crc16(data: bytes) -> int:
+    """CRC-16 (ARC variant: poly 0x8005 reflected, init 0) of *data*."""
+    crc = 0x0000
+    for byte in data:
+        crc = (crc >> 8) ^ _CRC16_TABLE[(crc ^ byte) & 0xFF]
+    return crc & 0xFFFF
+
+
+def crc32(data: bytes) -> int:
+    """CRC-32 (IEEE 802.3) of *data*."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def _field_bytes(value: FieldValue) -> bytes:
+    """Serialize one hash input field the way the hash unit would see it."""
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError(f"hash fields must be non-negative, got {value}")
+        length = max(1, (value.bit_length() + 7) // 8)
+        return value.to_bytes(length, "big")
+    # Address types expose .to_bytes().
+    to_bytes = getattr(value, "to_bytes", None)
+    if callable(to_bytes):
+        return to_bytes()
+    raise TypeError(f"cannot hash field of type {type(value).__name__}")
+
+
+def hash_fields(fields: Iterable[FieldValue], width_bits: int = 32) -> int:
+    """Hash a tuple of fields into ``width_bits`` bits (CRC32-based).
+
+    This is the ``hash(...)`` extern a P4 program calls; the field list is
+    concatenated with length prefixes so (1, 23) and (12, 3) differ.
+    """
+    parts = []
+    for value in fields:
+        raw = _field_bytes(value)
+        parts.append(struct.pack("!H", len(raw)))
+        parts.append(raw)
+    digest = crc32(b"".join(parts))
+    if width_bits >= 32:
+        return digest
+    return digest & ((1 << width_bits) - 1)
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """The classic flow key: (src IP, dst IP, protocol, src port, dst port)."""
+
+    src_ip: int
+    dst_ip: int
+    protocol: int
+    src_port: int
+    dst_port: int
+
+    @classmethod
+    def of(cls, packet: Packet) -> "FiveTuple":
+        """Extract the 5-tuple from a structured packet.
+
+        Non-UDP/TCP packets hash with zero ports, matching what a parser
+        that didn't extract L4 would produce.
+        """
+        ip = packet.require(Ipv4Header)
+        udp = packet.find(UdpHeader)
+        src_port = udp.src_port if udp is not None else 0
+        dst_port = udp.dst_port if udp is not None else 0
+        return cls(
+            src_ip=ip.src.value,
+            dst_ip=ip.dst.value,
+            protocol=ip.protocol,
+            src_port=src_port,
+            dst_port=dst_port,
+        )
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            "!IIBHH",
+            self.src_ip,
+            self.dst_ip,
+            self.protocol,
+            self.src_port,
+            self.dst_port,
+        )
+
+    def hash(self, width_bits: int = 32) -> int:
+        """CRC32 hash of the packed 5-tuple, truncated to ``width_bits``."""
+        digest = crc32(self.pack())
+        if width_bits >= 32:
+            return digest
+        return digest & ((1 << width_bits) - 1)

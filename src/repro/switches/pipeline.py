@@ -1,0 +1,94 @@
+"""The match-action pipeline programming model.
+
+A :class:`SwitchProgram` is the Python analogue of a P4 program: it gets a
+:class:`PipelineContext` per packet and decides forwarding by calling
+context actions (forward / drop / emit / recirculate / flood).  The
+*primitive actions* of the paper are ordinary methods invoked from a
+program's ``on_ingress`` — exactly how the paper packages them ("we design
+the primitives as data plane actions so that switch data plane programs can
+easily adopt the primitives", §3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..net.packet import Packet
+
+if TYPE_CHECKING:
+    from .switch import ProgrammableSwitch
+
+
+class PipelineContext:
+    """Per-packet forwarding decisions collected during pipeline execution."""
+
+    def __init__(self, switch: "ProgrammableSwitch", in_port: Optional[int]) -> None:
+        self.switch = switch
+        self.in_port = in_port
+        self.egress_port: Optional[int] = None
+        self.dropped = False
+        self.flooded = False
+        self.recirculated = False
+        #: Additional packets to transmit: (packet, egress port).
+        self.emitted: List[Tuple[Packet, int]] = []
+
+    def forward(self, port: int) -> None:
+        """Send the packet out of *port* (unicast)."""
+        self.egress_port = port
+        self.dropped = False
+        self.flooded = False
+
+    def drop(self) -> None:
+        """Discard the packet."""
+        self.dropped = True
+        self.egress_port = None
+        self.flooded = False
+
+    def flood(self) -> None:
+        """Send the packet out of every port except the ingress port."""
+        self.flooded = True
+        self.dropped = False
+        self.egress_port = None
+
+    def emit(self, packet: Packet, port: int) -> None:
+        """Transmit an additional, program-generated packet out of *port*.
+
+        This is how primitives issue RDMA requests: the crafted RoCE packet
+        is emitted toward the memory server's port while the original
+        packet follows its own verdict.
+        """
+        self.emitted.append((packet, port))
+
+    def clone_to(self, port: int) -> Packet:
+        """Mirror the current packet to *port*; returns the clone for
+        further modification (truncation, header rewrites)."""
+        raise NotImplementedError  # bound per-packet by the switch
+
+    def recirculate(self) -> None:
+        """Send the packet through the pipeline again (loopback port).
+
+        Costs one extra pipeline pass of latency and consumes internal
+        bandwidth; the §7 ablation compares this against packet bouncing.
+        """
+        self.recirculated = True
+        self.dropped = False
+        self.egress_port = None
+
+
+class SwitchProgram:
+    """Base class for data-plane programs.
+
+    Subclasses implement :meth:`on_ingress`.  ``attach`` is called once
+    when the program is bound to a switch; programs allocate their tables
+    and register arrays there, mirroring P4 resource declaration.
+    """
+
+    def attach(self, switch: "ProgrammableSwitch") -> None:
+        self.switch = switch
+
+    def on_ingress(self, ctx: PipelineContext, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def on_recirculate(self, ctx: PipelineContext, packet: Packet) -> None:
+        """Handle a recirculated packet (defaults to normal ingress)."""
+        self.on_ingress(ctx, packet)

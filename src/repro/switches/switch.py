@@ -1,0 +1,178 @@
+"""The programmable switch node.
+
+Models a Tofino-class single-chip switch: N ports, a fixed-latency
+match-action pipeline, a traffic manager with a shared packet buffer, and a
+recirculation path.  A bound :class:`~repro.switches.pipeline.SwitchProgram`
+decides forwarding; the paper's primitives plug into the same program API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..net.addresses import Ipv4Address, MacAddress
+from ..net.node import Interface, Node
+from ..net.packet import Packet
+from ..sim.simulator import Simulator
+from .pipeline import PipelineContext, SwitchProgram
+from .traffic_manager import TrafficManager, TrafficManagerConfig
+
+
+@dataclass
+class SwitchConfig:
+    """Pipeline timing parameters (Tofino-class defaults)."""
+
+    #: One pass through parser + match-action stages + deparser.
+    pipeline_latency_ns: float = 400.0
+    #: Extra latency for a recirculation pass (loopback port + re-parse).
+    recirculation_latency_ns: float = 400.0
+    #: Safety bound on recirculations per packet (hardware programs must
+    #: bound this too; unbounded recirculation melts the pipeline).
+    max_recirculations: int = 8
+
+
+@dataclass
+class SwitchStats:
+    rx_packets: int = 0
+    tx_packets: int = 0
+    processed: int = 0
+    dropped_by_program: int = 0
+    recirculations: int = 0
+    recirculation_overflow_drops: int = 0
+
+
+class ProgrammableSwitch(Node):
+    """A P4-style programmable switch with a shared-buffer traffic manager."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        config: Optional[SwitchConfig] = None,
+        tm_config: Optional[TrafficManagerConfig] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.config = config if config is not None else SwitchConfig()
+        self.tm = TrafficManager(tm_config)
+        self.tm.clock = lambda: self.sim.now
+        self.stats = SwitchStats()
+        self.program: Optional[SwitchProgram] = None
+        self._ports: List[Interface] = []
+        self._port_of_interface: Dict[Interface, int] = {}
+
+    # -- port management -----------------------------------------------------------
+
+    def add_port(
+        self, mac: MacAddress, ip: Optional[Ipv4Address] = None
+    ) -> int:
+        """Create the next port; returns its port number."""
+        port = len(self._ports)
+        queue = self.tm.queue_for(port)
+        interface = self.add_interface(f"port{port}", MacAddress(mac), ip=ip, queue=queue)
+        self._ports.append(interface)
+        self._port_of_interface[interface] = port
+        return port
+
+    @property
+    def port_count(self) -> int:
+        return len(self._ports)
+
+    def port_interface(self, port: int) -> Interface:
+        return self._ports[port]
+
+    def port_queue(self, port: int):
+        return self.tm.queue_for(port)
+
+    def port_of(self, interface: Interface) -> int:
+        return self._port_of_interface[interface]
+
+    # -- program binding ---------------------------------------------------------------
+
+    def bind_program(self, program: SwitchProgram) -> None:
+        self.program = program
+        program.attach(self)
+
+    # -- data path -------------------------------------------------------------------
+
+    def receive(self, packet: Packet, interface: Interface) -> None:
+        self.stats.rx_packets += 1
+        port = self._port_of_interface[interface]
+        self.sim.schedule(
+            self.config.pipeline_latency_ns, self._run_pipeline, packet, port, 0
+        )
+
+    def inject(self, packet: Packet, port: Optional[int] = None) -> None:
+        """Run a locally-generated packet through the pipeline (CPU port)."""
+        self.sim.schedule(
+            self.config.pipeline_latency_ns, self._run_pipeline, packet, port, 0
+        )
+
+    def _run_pipeline(
+        self, packet: Packet, in_port: Optional[int], pass_count: int
+    ) -> None:
+        if self.program is None:
+            raise RuntimeError(f"{self.name}: no program bound")
+        self.stats.processed += 1
+        ctx = PipelineContext(self, in_port)
+        ctx.clone_to = lambda port: self._clone_to(ctx, packet, port)
+        if pass_count == 0:
+            self.program.on_ingress(ctx, packet)
+        else:
+            self.program.on_recirculate(ctx, packet)
+        self._apply_verdict(ctx, packet, in_port, pass_count)
+
+    def _clone_to(self, ctx: PipelineContext, packet: Packet, port: int) -> Packet:
+        clone = packet.clone()
+        ctx.emitted.append((clone, port))
+        return clone
+
+    def _apply_verdict(
+        self,
+        ctx: PipelineContext,
+        packet: Packet,
+        in_port: Optional[int],
+        pass_count: int,
+    ) -> None:
+        for extra, port in ctx.emitted:
+            self.transmit(extra, port)
+        if ctx.recirculated:
+            if pass_count + 1 > self.config.max_recirculations:
+                self.stats.recirculation_overflow_drops += 1
+                return
+            self.stats.recirculations += 1
+            self.sim.schedule(
+                self.config.recirculation_latency_ns,
+                self._run_pipeline,
+                packet,
+                in_port,
+                pass_count + 1,
+            )
+            return
+        if ctx.dropped:
+            self.stats.dropped_by_program += 1
+            return
+        if ctx.flooded:
+            for port in range(self.port_count):
+                if port != in_port:
+                    self.transmit(packet.clone() if port != self._last_flood_port(in_port) else packet, port)
+            return
+        if ctx.egress_port is not None:
+            self.transmit(packet, ctx.egress_port)
+
+    def _last_flood_port(self, in_port: Optional[int]) -> int:
+        """The highest-numbered flood target, which gets the original packet."""
+        for port in range(self.port_count - 1, -1, -1):
+            if port != in_port:
+                return port
+        return -1
+
+    def transmit(self, packet: Packet, port: int) -> bool:
+        """Hand *packet* to the traffic manager / port serializer."""
+        if not 0 <= port < self.port_count:
+            raise ValueError(f"{self.name}: no such port {port}")
+        self.stats.tx_packets += 1
+        return self._ports[port].send(packet)
+
+    def __repr__(self) -> str:
+        return f"<ProgrammableSwitch {self.name} ports={self.port_count}>"

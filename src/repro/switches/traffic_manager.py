@@ -1,0 +1,285 @@
+"""The traffic manager: shared packet buffer and per-port egress queues.
+
+This is where the paper's problem lives.  Data-center switch ASICs carry
+O(10 MB) of on-chip packet buffer shared across all port queues (§2.1 uses
+12 MB); when an incast fills it, the drop-tail TM discards packets.
+
+The TM exposes the two hooks the remote packet-buffer primitive needs:
+
+* an **egress hook** consulted before every enqueue — the primitive can
+  *divert* the packet to remote memory instead of queueing it locally;
+* **dequeue listeners** fired as the port serializer drains — the
+  primitive watches for the local queue to empty so it can start READing
+  packets back (§4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..net.headers import Ipv4Header
+from ..net.packet import Packet
+from ..sim.units import mib
+
+
+class HookVerdict(enum.Enum):
+    """What an egress hook decided about a packet."""
+
+    PASS = "pass"          # proceed with normal enqueue (may still drop)
+    CONSUMED = "consumed"  # the hook took ownership (e.g. diverted to remote)
+
+
+EgressHook = Callable[[int, Packet, "PortQueue"], HookVerdict]
+DequeueListener = Callable[[int, Packet, "PortQueue"], None]
+
+
+@dataclass
+class TrafficManagerConfig:
+    """Buffer geometry and scheduling of the modelled ASIC."""
+
+    #: Shared packet-buffer pool (the paper's example ToR has 12 MB).
+    buffer_bytes: int = mib(12)
+    #: Optional static per-queue cap within the shared pool.
+    per_queue_limit_bytes: Optional[int] = None
+    #: §7 option: serve RDMA packets at strict priority and reserve buffer
+    #: headroom for them "so that they are less likely to be dropped".
+    rdma_priority: bool = False
+    #: Buffer bytes only RDMA packets may use (with rdma_priority).
+    rdma_reserved_bytes: int = 0
+    #: §7 option: token-bucket policer on RDMA traffic per port, "a
+    #: bandwidth cap to prevent RDMA packets taking too much bandwidth".
+    #: None disables the cap.
+    rdma_rate_cap_bps: Optional[float] = None
+    #: Token-bucket burst allowance for the RDMA cap.
+    rdma_cap_burst_bytes: int = 32 * 1024
+    #: ECN marking threshold (DCTCP-style step marking): ECT packets
+    #: enqueued while the port queue is at or above this depth get CE.
+    #: §2.1 relies on this for *persistent* congestion ("end-to-end
+    #: congestion control based on ECN ... should have slowed traffic").
+    #: None disables marking.
+    ecn_threshold_bytes: Optional[int] = None
+    #: Which packets ride the strict-priority class when rdma_priority is
+    #: on.  Defaults to "any RoCE packet"; override to something finer —
+    #: e.g. READ requests only, so the packet buffer's load path never
+    #: queues behind megabytes of its own store traffic.
+    priority_classifier: Optional[Callable[[Packet], bool]] = None
+
+
+def _is_rdma(packet: Packet) -> bool:
+    """Classify RDMA traffic the way the pipeline would (BTH present)."""
+    # Local import: net must not depend on rdma at module load.
+    from ..rdma.headers import BthHeader
+
+    return packet.find(BthHeader) is not None
+
+
+class PortQueue:
+    """One port's egress FIFO, drawing from the TM's shared byte pool.
+
+    Duck-type compatible with :class:`repro.net.queues.TxQueue` so an
+    :class:`~repro.net.node.Interface` can serve directly from it.
+    """
+
+    def __init__(self, tm: "TrafficManager", port: int) -> None:
+        self.tm = tm
+        self.port = port
+        self._queue: List[Packet] = []
+        self._head = 0
+        # Strict-priority class for RDMA packets (rdma_priority mode).
+        self._rdma_queue: List[Packet] = []
+        self._rdma_head = 0
+        self._depth_bytes = 0
+        self.enqueued_packets = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.rdma_policer_drops = 0
+        self.ecn_marked = 0
+        self.peak_depth_bytes = 0
+        # Token bucket for the RDMA rate cap.
+        self._cap_tokens = float(tm.config.rdma_cap_burst_bytes)
+        self._cap_refilled_at = 0.0
+
+    # -- TxQueue protocol -------------------------------------------------------
+
+    def admits(self, packet: Packet, is_rdma: bool = False) -> bool:
+        size = packet.buffer_len
+        pool = self.tm.config.buffer_bytes
+        if self.tm.config.rdma_priority and not is_rdma:
+            # Reserved headroom is off limits to non-RDMA traffic.
+            pool -= self.tm.config.rdma_reserved_bytes
+        if self.tm.used_bytes + size > pool:
+            return False
+        limit = self.tm.config.per_queue_limit_bytes
+        if limit is not None and self._depth_bytes + size > limit:
+            return False
+        return True
+
+    def _police_rdma(self, packet: Packet) -> bool:
+        """Token-bucket policer for the §7 RDMA bandwidth cap."""
+        cap = self.tm.config.rdma_rate_cap_bps
+        if cap is None:
+            return True
+        now = self.tm.now_ns()
+        elapsed = max(0.0, now - self._cap_refilled_at)
+        self._cap_refilled_at = now
+        self._cap_tokens = min(
+            self.tm.config.rdma_cap_burst_bytes,
+            self._cap_tokens + elapsed * cap / 8e9,
+        )
+        size = packet.buffer_len
+        if self._cap_tokens < size:
+            return False
+        self._cap_tokens -= size
+        return True
+
+    def offer(self, packet: Packet) -> bool:
+        """TM admission: egress hook first, then shared-pool drop-tail."""
+        verdict = self.tm.consult_hook(self.port, packet, self)
+        if verdict is HookVerdict.CONSUMED:
+            return True  # the hook owns the packet now; not a drop
+        if not self.tm.classifies_rdma:
+            is_rdma = False
+        elif self.tm.config.priority_classifier is not None:
+            is_rdma = self.tm.config.priority_classifier(packet)
+        else:
+            is_rdma = _is_rdma(packet)
+        if is_rdma and not self._police_rdma(packet):
+            self.rdma_policer_drops += 1
+            self.tm.total_dropped_packets += 1
+            self.tm.total_dropped_bytes += packet.buffer_len
+            return False
+        if not self.admits(packet, is_rdma=is_rdma):
+            self.dropped_packets += 1
+            self.dropped_bytes += packet.buffer_len
+            self.tm.total_dropped_packets += 1
+            self.tm.total_dropped_bytes += packet.buffer_len
+            return False
+        self._maybe_mark_ecn(packet)
+        self.enqueue_direct(packet, is_rdma=is_rdma)
+        return True
+
+    def _maybe_mark_ecn(self, packet: Packet) -> None:
+        """DCTCP-style step marking: CE when the queue is hot."""
+        threshold = self.tm.config.ecn_threshold_bytes
+        if threshold is None or self._depth_bytes < threshold:
+            return
+        ip = packet.find(Ipv4Header)
+        if ip is not None and ip.ecn in (1, 2):  # ECT(1) / ECT(0)
+            ip.ecn = 3  # CE
+            self.ecn_marked += 1
+
+    def enqueue_direct(self, packet: Packet, is_rdma: bool = False) -> None:
+        """Enqueue bypassing the egress hook (used by the hook itself when
+        re-injecting packets loaded back from remote memory)."""
+        size = packet.buffer_len
+        if is_rdma and self.tm.config.rdma_priority:
+            self._rdma_queue.append(packet)
+        else:
+            self._queue.append(packet)
+        self._depth_bytes += size
+        self.tm.used_bytes += size
+        self.tm.peak_used_bytes = max(self.tm.peak_used_bytes, self.tm.used_bytes)
+        self.peak_depth_bytes = max(self.peak_depth_bytes, self._depth_bytes)
+        self.enqueued_packets += 1
+
+    def _pop(self, queue: List[Packet], head: int):
+        packet = queue[head]
+        head += 1
+        # Compact lazily so poll stays O(1) amortised.
+        if head > 64 and head * 2 >= len(queue):
+            del queue[:head]
+            head = 0
+        return packet, head
+
+    def poll(self) -> Optional[Packet]:
+        if self._rdma_head < len(self._rdma_queue):
+            packet, self._rdma_head = self._pop(self._rdma_queue, self._rdma_head)
+        elif self._head < len(self._queue):
+            packet, self._head = self._pop(self._queue, self._head)
+        else:
+            return None
+        self._depth_bytes -= packet.buffer_len
+        self.tm.used_bytes -= packet.buffer_len
+        self.tm.notify_dequeue(self.port, packet, self)
+        return packet
+
+    def peek(self) -> Optional[Packet]:
+        if self._rdma_head < len(self._rdma_queue):
+            return self._rdma_queue[self._rdma_head]
+        if self._head < len(self._queue):
+            return self._queue[self._head]
+        return None
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def depth_bytes(self) -> int:
+        return self._depth_bytes
+
+    def __len__(self) -> int:
+        return (
+            len(self._queue) - self._head
+            + len(self._rdma_queue) - self._rdma_head
+        )
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"<PortQueue port={self.port} {len(self)}p/{self._depth_bytes}B>"
+
+
+class TrafficManager:
+    """Shared-buffer manager across all port queues of one switch."""
+
+    def __init__(self, config: Optional[TrafficManagerConfig] = None) -> None:
+        self.config = config if config is not None else TrafficManagerConfig()
+        self.used_bytes = 0
+        self.peak_used_bytes = 0
+        self.total_dropped_packets = 0
+        self.total_dropped_bytes = 0
+        self.queues: Dict[int, PortQueue] = {}
+        self.egress_hook: Optional[EgressHook] = None
+        self.dequeue_listeners: List[DequeueListener] = []
+        #: Clock source; the owning switch installs its simulator clock
+        #: (needed only by the RDMA rate-cap policer).
+        self.clock: Callable[[], float] = lambda: 0.0
+
+    def now_ns(self) -> float:
+        return self.clock()
+
+    @property
+    def classifies_rdma(self) -> bool:
+        """Does any configured feature need per-packet RDMA classification?"""
+        return (
+            self.config.rdma_priority
+            or self.config.rdma_rate_cap_bps is not None
+        )
+
+    def queue_for(self, port: int) -> PortQueue:
+        if port not in self.queues:
+            self.queues[port] = PortQueue(self, port)
+        return self.queues[port]
+
+    def consult_hook(
+        self, port: int, packet: Packet, queue: PortQueue
+    ) -> HookVerdict:
+        if self.egress_hook is None:
+            return HookVerdict.PASS
+        return self.egress_hook(port, packet, queue)
+
+    def notify_dequeue(self, port: int, packet: Packet, queue: PortQueue) -> None:
+        for listener in self.dequeue_listeners:
+            listener(port, packet, queue)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.config.buffer_bytes - self.used_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<TrafficManager {self.used_bytes}/{self.config.buffer_bytes}B "
+            f"drops={self.total_dropped_packets}>"
+        )

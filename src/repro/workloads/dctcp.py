@@ -1,0 +1,212 @@
+"""A DCTCP-style ECN-reactive sender/receiver pair.
+
+§2.1 splits responsibility: the remote packet buffer absorbs *bursts*,
+while "(in the case of persistent congestion) end-to-end congestion
+control based on ECN [36] or delay [28] should have slowed traffic."
+These classes provide that end-to-end loop over UDP:
+
+* :class:`DctcpSender` paces ECT(0)-marked packets and adapts its rate to
+  the CE fraction echoed back (DCTCP's ``alpha`` estimator: multiplicative
+  decrease proportional to the marked fraction, additive increase when a
+  window comes back clean).
+* :class:`DctcpReceiver` counts CE marks per window and echoes a compact
+  feedback packet to the sender (the stand-in for DCTCP's ECE stream).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..hosts.server import Host
+from ..net.headers import EthernetHeader, Ipv4Header, UdpHeader
+from ..net.node import Interface
+from ..net.packet import Packet
+from ..sim.simulator import Simulator
+from ..sim.units import SEC, gbps
+from .factory import udp_between
+
+#: UDP port feedback packets are addressed to (one sender per host).
+FEEDBACK_PORT = 41_000
+#: Feedback payload: window size, CE-marked count, window sequence.
+_FEEDBACK_FORMAT = "!HHI"
+
+
+@dataclass
+class DctcpConfig:
+    """DCTCP knobs (defaults follow the paper's recommendations)."""
+
+    #: EWMA gain g for the alpha estimator.
+    gain: float = 1 / 16
+    #: Feedback window in packets.
+    window_packets: int = 32
+    #: Additive increase applied per clean control interval.
+    additive_increase_bps: float = gbps(1)
+    min_rate_bps: float = gbps(0.25)
+    max_rate_bps: float = gbps(40)
+    #: DCTCP adjusts once per RTT; feedback windows arrive far more often
+    #: at 40 GbE, so rate/alpha updates are gated to this interval
+    #: (roughly the control RTT including the remote ring's sojourn).
+    control_interval_ns: float = 100_000.0
+    #: Slow-start exit: the very first marked interval halves the rate
+    #: outright (alpha hasn't warmed up yet, and line-rate senders must
+    #: back off before the deep remote ring bufferbloats the loop).
+    first_mark_halves: bool = True
+
+
+class DctcpSender:
+    """Paced ECT(0) UDP sender that reacts to CE feedback."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Host,
+        dst: Host,
+        packet_size: int = 1500,
+        rate_bps: float = gbps(40),
+        duration_ns: Optional[float] = None,
+        count: Optional[int] = None,
+        src_port: int = 42_000,
+        dst_port: int = 42_001,
+        config: Optional[DctcpConfig] = None,
+    ) -> None:
+        if duration_ns is None and count is None:
+            raise ValueError("specify duration_ns or count")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.packet_size = packet_size
+        self.rate_bps = rate_bps
+        self.duration_ns = duration_ns
+        self.count = count
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.config = config if config is not None else DctcpConfig()
+        self.alpha = 0.0
+        self.packets_sent = 0
+        self.feedback_windows = 0
+        self.rate_history: list = []
+        self._acc_window = 0
+        self._acc_marked = 0
+        self._last_control = 0.0
+        self._seen_marks = False
+        self._stop_at: Optional[float] = None
+        self._wire_bits = udp_between(src, dst, packet_size).wire_len * 8
+        src.packet_handlers.append(self._handle_feedback)
+
+    def start(self, at_ns: float = 0.0) -> None:
+        if self.duration_ns is not None:
+            self._stop_at = at_ns + self.duration_ns
+        self.sim.schedule_at(max(at_ns, self.sim.now), self._tick)
+
+    def _tick(self) -> None:
+        if self.count is not None and self.packets_sent >= self.count:
+            return
+        if self._stop_at is not None and self.sim.now >= self._stop_at:
+            return
+        packet = udp_between(
+            self.src, self.dst, self.packet_size,
+            src_port=self.src_port, dst_port=self.dst_port,
+        )
+        packet.require(Ipv4Header).ecn = 2  # ECT(0)
+        packet.meta["seq"] = self.packets_sent
+        packet.meta["sent_at"] = self.sim.now
+        self.src.send(packet)
+        self.packets_sent += 1
+        self.sim.schedule(self._wire_bits * SEC / self.rate_bps, self._tick)
+
+    # -- congestion response ------------------------------------------------------
+
+    def _handle_feedback(self, packet: Packet, interface: Interface) -> None:
+        udp = packet.find(UdpHeader)
+        if udp is None or udp.dst_port != FEEDBACK_PORT:
+            return
+        if len(packet.payload) < struct.calcsize(_FEEDBACK_FORMAT):
+            return
+        window, marked, _seq = struct.unpack(
+            _FEEDBACK_FORMAT, packet.payload[: struct.calcsize(_FEEDBACK_FORMAT)]
+        )
+        if window == 0:
+            return
+        self.feedback_windows += 1
+        self._acc_window += window
+        self._acc_marked += marked
+        # One control action per interval (DCTCP's per-RTT cadence);
+        # feedback between actions only accumulates into the CE fraction.
+        if self.sim.now - self._last_control < self.config.control_interval_ns:
+            return
+        self._last_control = self.sim.now
+        fraction = self._acc_marked / self._acc_window
+        g = self.config.gain
+        self.alpha = (1 - g) * self.alpha + g * fraction
+        if self._acc_marked:
+            if self.config.first_mark_halves and not self._seen_marks:
+                self.rate_bps *= 0.5
+            else:
+                self.rate_bps *= 1 - self.alpha / 2
+            self._seen_marks = True
+        else:
+            self.rate_bps += self.config.additive_increase_bps
+        self.rate_bps = min(
+            self.config.max_rate_bps,
+            max(self.config.min_rate_bps, self.rate_bps),
+        )
+        self._acc_window = 0
+        self._acc_marked = 0
+        self.rate_history.append((self.sim.now, self.rate_bps))
+
+
+class DctcpReceiver:
+    """Counts CE marks per flow and echoes windowed feedback."""
+
+    def __init__(
+        self,
+        host: Host,
+        dst_port: int = 42_001,
+        window_packets: int = 32,
+    ) -> None:
+        self.host = host
+        self.dst_port = dst_port
+        self.window_packets = window_packets
+        self.packets = 0
+        self.ce_packets = 0
+        # (src_ip value, src_port) -> [window count, marked count, windows sent]
+        self._flows: Dict[Tuple[int, int], list] = {}
+        host.packet_handlers.append(self._handle)
+
+    def _handle(self, packet: Packet, interface: Interface) -> None:
+        udp = packet.find(UdpHeader)
+        ip = packet.find(Ipv4Header)
+        if udp is None or ip is None or udp.dst_port != self.dst_port:
+            return
+        self.packets += 1
+        marked = ip.ecn == 3
+        if marked:
+            self.ce_packets += 1
+        key = (ip.src.value, udp.src_port)
+        state = self._flows.setdefault(key, [0, 0, 0])
+        state[0] += 1
+        state[1] += int(marked)
+        if state[0] >= self.window_packets:
+            self._send_feedback(ip, state)
+            state[0] = 0
+            state[1] = 0
+            state[2] += 1
+
+    def _send_feedback(self, ip: Ipv4Header, state: list) -> None:
+        # L2: static ARP — testbed hosts are 10.0.0.x <-> 02:00:00:00:00:x
+        # (a full ARP model is out of scope for a one-hop topology).
+        from ..net.addresses import MacAddress
+
+        sender_mac = MacAddress(0x02_00_00_00_00_00 | (ip.src.value & 0xFF))
+        feedback = Packet(
+            headers=[
+                EthernetHeader(dst=sender_mac, src=self.host.eth.mac),
+                Ipv4Header(src=self.host.eth.ip, dst=ip.src),
+                UdpHeader(src_port=self.dst_port, dst_port=FEEDBACK_PORT),
+            ],
+            payload=struct.pack(_FEEDBACK_FORMAT, state[0], state[1], state[2]),
+        )
+        feedback.fixup_lengths()
+        self.host.send(feedback)

@@ -1,0 +1,48 @@
+"""Packet factories for workload generators.
+
+"Packet size" throughout the library (and in the paper's x-axes) means the
+L2 frame size excluding FCS: Ethernet header + IP + UDP + payload.  The
+smallest legal size is therefore 42 bytes of headers plus payload, and the
+64 B point of Fig. 3 corresponds to a 22-byte payload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hosts.server import Host
+from ..net.headers import EthernetHeader, Ipv4Header, UdpHeader
+from ..net.packet import Packet
+
+#: Ethernet + IPv4 + UDP header bytes.
+UDP_HEADER_BYTES = EthernetHeader.LENGTH + Ipv4Header.LENGTH + UdpHeader.LENGTH
+
+
+def udp_between(
+    src: Host,
+    dst: Host,
+    packet_size: int = 1500,
+    src_port: int = 10_000,
+    dst_port: int = 20_000,
+    payload: Optional[bytes] = None,
+    dscp: int = 0,
+) -> Packet:
+    """Build a UDP packet from *src* to *dst* of total frame size
+    ``packet_size`` (headers included, FCS excluded)."""
+    if payload is None:
+        if packet_size < UDP_HEADER_BYTES:
+            raise ValueError(
+                f"packet size {packet_size} below header floor "
+                f"{UDP_HEADER_BYTES}"
+            )
+        payload = b"\x00" * (packet_size - UDP_HEADER_BYTES)
+    packet = Packet(
+        headers=[
+            EthernetHeader(dst=dst.eth.mac, src=src.eth.mac),
+            Ipv4Header(src=src.eth.ip, dst=dst.eth.ip, dscp=dscp),
+            UdpHeader(src_port=src_port, dst_port=dst_port),
+        ],
+        payload=payload,
+    )
+    packet.fixup_lengths()
+    return packet

@@ -1,0 +1,93 @@
+"""Synchronized N-to-1 incast bursts (§2.1's motivating workload).
+
+Models the classic last-hop incast: N senders simultaneously blast a fixed
+number of bytes at line rate toward a single receiver behind one ToR port.
+With eight 40 Gbps senders and 50 MB of aggregate data, a 12 MB switch
+buffer fills in ~0.34 ms — the arithmetic the paper opens with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..hosts.server import Host
+from ..sim.simulator import Simulator
+from .perftest import PacketSink, RawEthernetBw
+
+INCAST_PORT = 40_000
+
+
+@dataclass
+class IncastReport:
+    """Aggregate outcome of one incast experiment."""
+
+    senders: int
+    packets_sent: int
+    packets_received: int
+    bytes_sent: int
+    bytes_received: int
+    out_of_order: int
+    completion_ns: Optional[float]
+
+    @property
+    def packets_lost(self) -> int:
+        return self.packets_sent - self.packets_received
+
+    @property
+    def loss_rate(self) -> float:
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_lost / self.packets_sent
+
+
+class IncastWorkload:
+    """N synchronized senders, one receiver, fixed bytes per sender."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        senders: List[Host],
+        receiver: Host,
+        bytes_per_sender: int,
+        packet_size: int = 1500,
+        rate_bps: float = 40e9,
+    ) -> None:
+        if not senders:
+            raise ValueError("need at least one sender")
+        self.sim = sim
+        self.senders = senders
+        self.receiver = receiver
+        self.packet_size = packet_size
+        packets_each = max(1, bytes_per_sender // packet_size)
+        self.sink = PacketSink(receiver, dst_port=INCAST_PORT)
+        self.generators = [
+            RawEthernetBw(
+                sim,
+                sender,
+                receiver,
+                packet_size=packet_size,
+                rate_bps=rate_bps,
+                count=packets_each,
+                src_port=INCAST_PORT + 1 + i,
+                dst_port=INCAST_PORT,
+            )
+            for i, sender in enumerate(senders)
+        ]
+
+    def start(self, at_ns: float = 0.0) -> None:
+        for generator in self.generators:
+            generator.start(at_ns)
+
+    def report(self) -> IncastReport:
+        packets_sent = sum(g.report.packets_sent for g in self.generators)
+        bytes_sent = sum(g.report.bytes_sent for g in self.generators)
+        return IncastReport(
+            senders=len(self.generators),
+            packets_sent=packets_sent,
+            packets_received=self.sink.packets,
+            bytes_sent=bytes_sent,
+            bytes_received=self.sink.bytes,
+            out_of_order=self.sink.out_of_order,
+            completion_ns=self.sink.last_arrival_ns if self.sink.packets else None,
+        )

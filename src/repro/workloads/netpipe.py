@@ -1,0 +1,113 @@
+"""``NPtcp`` (netpipe) analog: ping-pong end-to-end latency measurement.
+
+The paper measures Fig. 3a's end-to-end latency with NPtcp across packet
+sizes 64 B – 1 KB.  :class:`PingPong` does the equivalent: host A sends a
+probe, host B's handler immediately echoes it back, and the recorded RTT/2
+is the one-way end-to-end latency.  Medians over many probes are reported,
+matching the figure.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List, Optional
+
+from ..hosts.server import Host
+from ..net.headers import EthernetHeader, Ipv4Header, UdpHeader
+from ..net.node import Interface
+from ..net.packet import Packet
+from ..sim.simulator import Simulator
+from .factory import udp_between
+
+PROBE_PORT = 33_333
+
+
+class Echoer:
+    """Reflects probes back to their sender (the netpipe server side)."""
+
+    def __init__(self, host: Host, port: int = PROBE_PORT) -> None:
+        self.host = host
+        self.port = port
+        self.echoed = 0
+        host.packet_handlers.append(self._handle)
+
+    def _handle(self, packet: Packet, interface: Interface) -> None:
+        udp = packet.find(UdpHeader)
+        if udp is None or udp.dst_port != self.port:
+            return
+        reply = packet.clone()
+        eth = reply.require(EthernetHeader)
+        ip = reply.require(Ipv4Header)
+        rudp = reply.require(UdpHeader)
+        eth.dst, eth.src = eth.src, self.host.eth.mac
+        ip.dst, ip.src = ip.src, self.host.eth.ip
+        rudp.dst_port, rudp.src_port = rudp.src_port, self.port
+        self.echoed += 1
+        self.host.send(reply)
+
+
+class PingPong:
+    """Serial ping-pong probe train between two hosts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: Host,
+        server: Host,
+        packet_size: int = 64,
+        probes: int = 100,
+        port: int = PROBE_PORT,
+    ) -> None:
+        self.sim = sim
+        self.client = client
+        self.server = server
+        self.packet_size = packet_size
+        self.probes = probes
+        self.port = port
+        self.rtts_ns: List[float] = []
+        self._echoer = Echoer(server, port=port)
+        self._sent_at: Optional[float] = None
+        self._outstanding = False
+        client.packet_handlers.append(self._handle_reply)
+
+    def start(self, at_ns: float = 0.0) -> None:
+        self.sim.schedule_at(max(at_ns, self.sim.now), self._send_probe)
+
+    def _send_probe(self) -> None:
+        if len(self.rtts_ns) >= self.probes:
+            return
+        probe = udp_between(
+            self.client,
+            self.server,
+            self.packet_size,
+            src_port=self.port + 1,
+            dst_port=self.port,
+        )
+        self._sent_at = self.sim.now
+        self._outstanding = True
+        self.client.send(probe)
+
+    def _handle_reply(self, packet: Packet, interface: Interface) -> None:
+        udp = packet.find(UdpHeader)
+        if udp is None or udp.dst_port != self.port + 1 or not self._outstanding:
+            return
+        assert self._sent_at is not None
+        self.rtts_ns.append(self.sim.now - self._sent_at)
+        self._outstanding = False
+        if len(self.rtts_ns) < self.probes:
+            self.sim.schedule(0.0, self._send_probe)
+
+    # -- results --------------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return len(self.rtts_ns)
+
+    def median_rtt_ns(self) -> float:
+        if not self.rtts_ns:
+            raise RuntimeError("no probes completed")
+        return statistics.median(self.rtts_ns)
+
+    def median_oneway_ns(self) -> float:
+        """Median one-way latency (RTT/2), the Fig. 3a metric."""
+        return self.median_rtt_ns() / 2

@@ -1,0 +1,24 @@
+"""Shared fixtures: simulators, connected host pairs, small topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.link import connect
+from repro.hosts.server import Host, MemoryServer
+from repro.sim.simulator import Simulator
+from repro.sim.units import gbps
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def host_pair(sim):
+    """Two hosts joined by a 40 GbE link (client, server, link)."""
+    client = Host(sim, "client", "02:00:00:00:00:01", "10.0.0.1")
+    server = MemoryServer(sim, "server", "02:00:00:00:00:02", "10.0.0.2")
+    link = connect(sim, client.eth, server.eth, rate_bps=gbps(40))
+    return client, server, link

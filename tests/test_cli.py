@@ -1,0 +1,60 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["warp-drive"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fig3a", "--probes", "5"],
+            ["fig3b", "--packets", "100"],
+            ["incast", "--scale", "0.01"],
+            ["overhead"],
+            ["ablations", "--which", "drops"],
+            ["all", "--quick"],
+        ],
+    )
+    def test_valid_invocations_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.fn)
+
+    def test_ablation_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablations", "--which", "nonsense"])
+
+
+class TestExecution:
+    def test_overhead_prints_table(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "RDMA WRITE" in out
+        assert "56" in out
+
+    def test_fig3a_small(self, capsys):
+        assert main(["fig3a", "--probes", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline (us)" in out
+        assert "64" in out
+
+    def test_incast_tiny(self, capsys):
+        assert main(["incast", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "droptail" in out
+        assert "remote_buffer" in out
+        assert "pfc" in out
+
+    def test_ablations_single(self, capsys):
+        assert main(["ablations", "--which", "batching"]) == 0
+        out = capsys.readouterr().out
+        assert "Fetch-and-Add" in out

@@ -1,0 +1,274 @@
+"""Tests for the remote lookup table primitive."""
+
+import pytest
+
+from repro.apps.programs import RemoteLookupProgram
+from repro.core.lookup_table import (
+    ACTION_DROP,
+    ACTION_SET_DSCP,
+    LookupTableConfig,
+    RemoteAction,
+    RemoteLookupTable,
+    fingerprint_of,
+)
+from repro.experiments.topology import build_testbed
+from repro.net.headers import UdpHeader
+from repro.sim.units import mib
+from repro.switches.hashing import FiveTuple
+from repro.workloads.factory import udp_between
+
+
+def build(config=None, n_hosts=2, default_action=None):
+    tb = build_testbed(n_hosts=n_hosts)
+    program = RemoteLookupProgram()
+    for host, port in zip(tb.hosts, tb.host_ports):
+        program.install(host.eth.mac, port)
+    tb.switch.bind_program(program)
+    config = config or LookupTableConfig(entries=1 << 10, cache_entries=64)
+    channel = tb.controller.open_channel(
+        tb.memory_server,
+        tb.server_port,
+        config.entries * config.entry_bytes,
+    )
+    table = RemoteLookupTable(
+        tb.switch, channel, config=config, default_action=default_action
+    )
+    program.use_lookup_table(table)
+    return tb, program, table, channel
+
+
+def send_flow_packet(tb, dscp=0, sport=5000, dport=6000, size=256):
+    packet = udp_between(
+        tb.hosts[0], tb.hosts[1], size, src_port=sport, dst_port=dport, dscp=dscp
+    )
+    received = []
+    tb.hosts[1].packet_handlers.append(lambda p, i: received.append(p))
+    tb.hosts[0].send(packet)
+    return packet, received
+
+
+class TestRemoteLookup:
+    def test_miss_fetches_action_and_applies_dscp(self):
+        tb, program, table, channel = build()
+        flow = FiveTuple(
+            src_ip=tb.hosts[0].eth.ip.value,
+            dst_ip=tb.hosts[1].eth.ip.value,
+            protocol=17,
+            src_port=5000,
+            dst_port=6000,
+        )
+        table.install(flow, RemoteAction(ACTION_SET_DSCP, 46))
+        packet, received = send_flow_packet(tb)
+        tb.sim.run()
+        assert len(received) == 1
+        assert received[0].ipv4.dscp == 46
+        assert table.stats.remote_lookups == 1
+        assert table.stats.remote_hits == 1
+        assert tb.memory_server.cpu_packets == 0
+
+    def test_bounce_stores_packet_remotely(self):
+        tb, program, table, channel = build()
+        flow = FiveTuple(
+            src_ip=tb.hosts[0].eth.ip.value,
+            dst_ip=tb.hosts[1].eth.ip.value,
+            protocol=17,
+            src_port=5000,
+            dst_port=6000,
+        )
+        table.install(flow, RemoteAction(ACTION_SET_DSCP, 10))
+        send_flow_packet(tb)
+        tb.sim.run()
+        # One WRITE (the bounced packet) and one READ (the entry fetch),
+        # plus the control-plane install.
+        assert channel.region.writes == 2
+        assert channel.region.reads == 1
+
+    def test_second_packet_hits_cache(self):
+        tb, program, table, channel = build()
+        flow = FiveTuple(
+            src_ip=tb.hosts[0].eth.ip.value,
+            dst_ip=tb.hosts[1].eth.ip.value,
+            protocol=17,
+            src_port=5000,
+            dst_port=6000,
+        )
+        table.install(flow, RemoteAction(ACTION_SET_DSCP, 46))
+        _, received = send_flow_packet(tb)
+        tb.sim.run()
+        tb.hosts[0].send(
+            udp_between(tb.hosts[0], tb.hosts[1], 256, src_port=5000, dst_port=6000)
+        )
+        tb.sim.run()
+        assert len(received) == 2
+        assert table.stats.remote_lookups == 1  # only the first missed
+        assert table.stats.local_hits == 1
+        assert received[1].ipv4.dscp == 46
+
+    def test_cache_disabled_every_packet_goes_remote(self):
+        config = LookupTableConfig(entries=1 << 10, cache_entries=0)
+        tb, program, table, channel = build(config=config)
+        flow = FiveTuple(
+            src_ip=tb.hosts[0].eth.ip.value,
+            dst_ip=tb.hosts[1].eth.ip.value,
+            protocol=17,
+            src_port=5000,
+            dst_port=6000,
+        )
+        table.install(flow, RemoteAction(ACTION_SET_DSCP, 1))
+        _, received = send_flow_packet(tb)
+        tb.sim.run()
+        tb.hosts[0].send(
+            udp_between(tb.hosts[0], tb.hosts[1], 256, src_port=5000, dst_port=6000)
+        )
+        tb.sim.run()
+        assert len(received) == 2
+        assert table.stats.remote_lookups == 2
+        assert table.stats.local_hits == 0
+
+    def test_unpopulated_entry_uses_default_action(self):
+        tb, program, table, channel = build(
+            default_action=RemoteAction(ACTION_SET_DSCP, 7)
+        )
+        _, received = send_flow_packet(tb)
+        tb.sim.run()
+        assert len(received) == 1
+        assert received[0].ipv4.dscp == 7
+        assert table.stats.remote_invalid == 1
+
+    def test_drop_action_drops(self):
+        tb, program, table, channel = build()
+        flow = FiveTuple(
+            src_ip=tb.hosts[0].eth.ip.value,
+            dst_ip=tb.hosts[1].eth.ip.value,
+            protocol=17,
+            src_port=5000,
+            dst_port=6000,
+        )
+        table.install(flow, RemoteAction(ACTION_DROP, 0))
+        _, received = send_flow_packet(tb)
+        tb.sim.run()
+        assert received == []
+
+    def test_fingerprint_mismatch_falls_back_to_default(self):
+        tb, program, table, channel = build()
+        flow_a = FiveTuple(
+            src_ip=tb.hosts[0].eth.ip.value,
+            dst_ip=tb.hosts[1].eth.ip.value,
+            protocol=17,
+            src_port=5000,
+            dst_port=6000,
+        )
+        # Manufacture a colliding install: write flow A's entry but with a
+        # different flow's fingerprint.
+        index = table.index_of(flow_a)
+        other = FiveTuple(1, 2, 17, 3, 4)
+        entry = RemoteAction(ACTION_SET_DSCP, 63).pack_with(fingerprint_of(other))
+        channel.region.write(table.entry_address(index), entry)
+        _, received = send_flow_packet(tb)
+        tb.sim.run()
+        assert len(received) == 1
+        assert received[0].ipv4.dscp == 0  # action NOT applied
+        assert table.stats.fingerprint_mismatches == 1
+
+    def test_cache_eviction_fifo(self):
+        config = LookupTableConfig(entries=1 << 10, cache_entries=2)
+        tb, program, table, channel = build(config=config)
+        received = []
+        tb.hosts[1].packet_handlers.append(lambda p, i: received.append(p))
+        for sport in (100, 200, 300):
+            flow = FiveTuple(
+                src_ip=tb.hosts[0].eth.ip.value,
+                dst_ip=tb.hosts[1].eth.ip.value,
+                protocol=17,
+                src_port=sport,
+                dst_port=20_000,
+            )
+            table.install(flow, RemoteAction(ACTION_SET_DSCP, sport % 64))
+            tb.hosts[0].send(
+                udp_between(
+                    tb.hosts[0], tb.hosts[1], 256,
+                    src_port=sport, dst_port=20_000,
+                )
+            )
+            tb.sim.run()
+        assert table.stats.cache_inserts == 3
+        assert table.stats.cache_evictions == 1
+        assert len(table.cache) == 2
+
+    def test_payload_survives_bounce(self):
+        tb, program, table, channel = build()
+        payload = bytes(range(200))
+        packet = udp_between(
+            tb.hosts[0], tb.hosts[1], 256, src_port=5000, payload=payload
+        )
+        received = []
+        tb.hosts[1].packet_handlers.append(lambda p, i: received.append(p))
+        tb.hosts[0].send(packet)
+        tb.sim.run()
+        assert len(received) == 1
+        assert received[0].payload == payload
+        assert received[0].require(UdpHeader).src_port == 5000
+
+    def test_table_bigger_than_channel_rejected(self):
+        tb = build_testbed()
+        channel = tb.controller.open_channel(tb.memory_server, tb.server_port, mib(1))
+        with pytest.raises(ValueError):
+            RemoteLookupTable(
+                tb.switch,
+                channel,
+                config=LookupTableConfig(entries=1 << 20),
+            )
+
+    def test_unknown_mode_rejected(self):
+        tb = build_testbed()
+        channel = tb.controller.open_channel(tb.memory_server, tb.server_port, mib(8))
+        with pytest.raises(ValueError):
+            RemoteLookupTable(
+                tb.switch,
+                channel,
+                config=LookupTableConfig(entries=16, mode="telepathy"),
+            )
+
+
+class TestRecirculateMode:
+    def build_recirc(self):
+        config = LookupTableConfig(
+            entries=1 << 10, cache_entries=64, mode="recirculate"
+        )
+        return build(config=config)
+
+    def test_lookup_resolves_without_bouncing_packet(self):
+        tb, program, table, channel = self.build_recirc()
+        flow = FiveTuple(
+            src_ip=tb.hosts[0].eth.ip.value,
+            dst_ip=tb.hosts[1].eth.ip.value,
+            protocol=17,
+            src_port=5000,
+            dst_port=6000,
+        )
+        table.install(flow, RemoteAction(ACTION_SET_DSCP, 12))
+        _, received = send_flow_packet(tb)
+        tb.sim.run()
+        assert len(received) == 1
+        assert received[0].ipv4.dscp == 12
+        # Recirculate mode never WRITEs the packet (only the install wrote).
+        assert channel.region.writes == 1
+        assert table.stats.recirculation_passes >= 1
+
+    def test_recirculate_saves_remote_bandwidth(self):
+        tb_b, _, table_b, _ = build()
+        tb_r, _, table_r, _ = self.build_recirc()
+        for tb, table in ((tb_b, table_b), (tb_r, table_r)):
+            flow = FiveTuple(
+                src_ip=tb.hosts[0].eth.ip.value,
+                dst_ip=tb.hosts[1].eth.ip.value,
+                protocol=17,
+                src_port=5000,
+                dst_port=6000,
+            )
+            table.install(flow, RemoteAction(ACTION_SET_DSCP, 1))
+            send_flow_packet(tb)
+            tb.sim.run()
+        bounce_bytes = table_b.rocegen.stats.request_wire_bytes
+        recirc_bytes = table_r.rocegen.stats.request_wire_bytes
+        assert recirc_bytes < bounce_bytes

@@ -1,0 +1,48 @@
+"""Whole-system determinism: identical seeds give identical experiments.
+
+DESIGN.md lists deterministic event ordering as an invariant; these tests
+check it end to end, through the RDMA stack, primitives and workloads.
+"""
+
+from dataclasses import asdict
+
+from repro.experiments.baremetal import run_baremetal
+from repro.experiments.fig3b import run_fig3b_point
+from repro.experiments.incast import run_incast
+from repro.experiments.kv_cache import run_kv_cache
+
+
+def test_fig3b_point_deterministic():
+    a = run_fig3b_point(256, packets=800)
+    b = run_fig3b_point(256, packets=800)
+    assert asdict(a) == asdict(b)
+
+
+def test_incast_deterministic():
+    a = run_incast("remote_buffer", scale=0.02, n_memory_servers=2)
+    b = run_incast("remote_buffer", scale=0.02, n_memory_servers=2)
+    assert asdict(a) == asdict(b)
+
+
+def test_baremetal_deterministic_per_seed():
+    a = run_baremetal("remote", vips=500, packets=400, seed=3)
+    b = run_baremetal("remote", vips=500, packets=400, seed=3)
+    assert asdict(a) == asdict(b)
+
+
+def test_baremetal_seed_changes_draws():
+    """Different seeds draw different VIP sequences (the aggregate metrics
+    can coincide — per-packet service times don't depend on which VIP —
+    so the check is at the sampler level)."""
+    from repro.sim.rng import SeedSequence
+    from repro.workloads.flows import ZipfSampler
+
+    a = ZipfSampler(500, 1.1, SeedSequence(0).stream("baremetal-3"))
+    b = ZipfSampler(500, 1.1, SeedSequence(0).stream("baremetal-4"))
+    assert [a.sample() for _ in range(50)] != [b.sample() for _ in range(50)]
+
+
+def test_kv_cache_deterministic():
+    a = run_kv_cache("sram+remote", keys=300, queries=200)
+    b = run_kv_cache("sram+remote", keys=300, queries=200)
+    assert asdict(a) == asdict(b)

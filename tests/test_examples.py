@@ -1,0 +1,39 @@
+"""Every example script must run clean end to end (reduced scales)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("incast_rescue.py", ["--scale", "0.02"]),
+    ("baremetal_gateway.py", ["--vips", "800", "--packets", "600"]),
+    ("telemetry_sketches.py", ["--flows", "1500", "--packets", "1500"]),
+    ("kv_cache_netcache.py", ["--keys", "800", "--queries", "500"]),
+    ("reliable_counters.py", []),
+    ("server_failure.py", []),
+    ("sequencer_netchain.py", []),
+    ("persistent_congestion_ecn.py", ["--duration-ms", "1.5"]),
+]
+
+
+@pytest.mark.parametrize(
+    "script,args", CASES, ids=[case[0] for case in CASES]
+)
+def test_example_runs_clean(script, args):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"

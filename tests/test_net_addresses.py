@@ -1,0 +1,93 @@
+"""Tests for MAC / IPv4 address value types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import Ipv4Address, MacAddress
+
+
+class TestMacAddress:
+    def test_parse_and_format(self):
+        mac = MacAddress("02:00:00:00:ab:cd")
+        assert str(mac) == "02:00:00:00:ab:cd"
+        assert mac.value == 0x02000000ABCD
+
+    def test_dash_separator_accepted(self):
+        assert MacAddress("02-00-00-00-ab-cd") == MacAddress("02:00:00:00:ab:cd")
+
+    def test_round_trip_bytes(self):
+        mac = MacAddress("de:ad:be:ef:00:01")
+        assert MacAddress.from_bytes(mac.to_bytes()) == mac
+
+    def test_broadcast(self):
+        assert MacAddress.broadcast().is_broadcast
+        assert str(MacAddress.broadcast()) == "ff:ff:ff:ff:ff:ff"
+        assert not MacAddress("02:00:00:00:00:01").is_broadcast
+
+    def test_multicast_bit(self):
+        assert MacAddress("01:00:5e:00:00:01").is_multicast
+        assert not MacAddress("02:00:00:00:00:01").is_multicast
+
+    def test_equality_with_string(self):
+        assert MacAddress("02:00:00:00:00:01") == "02:00:00:00:00:01"
+
+    def test_immutable(self):
+        mac = MacAddress(1)
+        with pytest.raises(AttributeError):
+            mac.value = 2
+
+    @pytest.mark.parametrize(
+        "bad", ["02:00:00:00:00", "gg:00:00:00:00:01", "1:2:3", ""]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            MacAddress(bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+        with pytest.raises(ValueError):
+            MacAddress(-1)
+
+    def test_hashable_as_table_key(self):
+        table = {MacAddress("02:00:00:00:00:01"): "port1"}
+        assert table[MacAddress("02:00:00:00:00:01")] == "port1"
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_string_round_trip_property(self, value):
+        mac = MacAddress(value)
+        assert MacAddress(str(mac)) == mac
+
+
+class TestIpv4Address:
+    def test_parse_and_format(self):
+        ip = Ipv4Address("10.0.1.200")
+        assert str(ip) == "10.0.1.200"
+        assert ip.value == (10 << 24) | (0 << 16) | (1 << 8) | 200
+
+    def test_round_trip_bytes(self):
+        ip = Ipv4Address("192.168.1.1")
+        assert Ipv4Address.from_bytes(ip.to_bytes()) == ip
+
+    @pytest.mark.parametrize("bad", ["10.0.0", "10.0.0.256", "a.b.c.d", ""])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Ipv4Address(bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Ipv4Address(1 << 32)
+
+    def test_equality_with_string(self):
+        assert Ipv4Address("10.0.0.1") == "10.0.0.1"
+
+    def test_immutable(self):
+        ip = Ipv4Address(1)
+        with pytest.raises(AttributeError):
+            ip.value = 2
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_string_round_trip_property(self, value):
+        ip = Ipv4Address(value)
+        assert Ipv4Address(str(ip)) == ip

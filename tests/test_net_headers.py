@@ -1,0 +1,142 @@
+"""Tests for Ethernet / IPv4 / UDP header codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.headers import (
+    ETHERTYPE_IPV4,
+    EthernetHeader,
+    HeaderError,
+    Ipv4Header,
+    UdpHeader,
+    ipv4_checksum,
+)
+
+macs = st.integers(min_value=0, max_value=(1 << 48) - 1).map(MacAddress)
+ips = st.integers(min_value=0, max_value=(1 << 32) - 1).map(Ipv4Address)
+
+
+class TestEthernet:
+    def test_pack_length(self):
+        eth = EthernetHeader(dst=MacAddress(1), src=MacAddress(2))
+        assert len(eth.pack()) == EthernetHeader.LENGTH == 14
+
+    def test_round_trip(self):
+        eth = EthernetHeader(
+            dst=MacAddress("ff:ff:ff:ff:ff:ff"),
+            src=MacAddress("02:00:00:00:00:09"),
+            ethertype=0x8915,
+        )
+        assert EthernetHeader.unpack(eth.pack()) == eth
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(HeaderError):
+            EthernetHeader.unpack(b"\x00" * 13)
+
+    def test_default_ethertype_is_ipv4(self):
+        eth = EthernetHeader(dst=MacAddress(1), src=MacAddress(2))
+        assert eth.ethertype == ETHERTYPE_IPV4
+
+    @given(dst=macs, src=macs, ethertype=st.integers(0, 0xFFFF))
+    def test_round_trip_property(self, dst, src, ethertype):
+        eth = EthernetHeader(dst=dst, src=src, ethertype=ethertype)
+        assert EthernetHeader.unpack(eth.pack()) == eth
+
+
+class TestIpv4:
+    def test_pack_length(self):
+        ip = Ipv4Header(src=Ipv4Address("10.0.0.1"), dst=Ipv4Address("10.0.0.2"))
+        assert len(ip.pack()) == Ipv4Header.LENGTH == 20
+
+    def test_round_trip(self):
+        ip = Ipv4Header(
+            src=Ipv4Address("10.1.2.3"),
+            dst=Ipv4Address("10.4.5.6"),
+            protocol=17,
+            total_length=1234,
+            ttl=3,
+            dscp=46,
+            ecn=1,
+            identification=777,
+        )
+        assert Ipv4Header.unpack(ip.pack()) == ip
+
+    def test_checksum_verified_on_unpack(self):
+        ip = Ipv4Header(src=Ipv4Address("10.0.0.1"), dst=Ipv4Address("10.0.0.2"))
+        raw = bytearray(ip.pack())
+        raw[8] ^= 0xFF  # corrupt the TTL
+        with pytest.raises(HeaderError):
+            Ipv4Header.unpack(bytes(raw))
+
+    def test_checksum_of_packed_header_is_zero(self):
+        # Summing a valid header including its checksum must give 0.
+        ip = Ipv4Header(src=Ipv4Address("1.2.3.4"), dst=Ipv4Address("5.6.7.8"))
+        assert ipv4_checksum(ip.pack()) == 0
+
+    def test_rejects_ipv6_version(self):
+        ip = Ipv4Header(src=Ipv4Address(1), dst=Ipv4Address(2))
+        raw = bytearray(ip.pack())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(HeaderError):
+            Ipv4Header.unpack(bytes(raw))
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("ttl", 256),
+            ("dscp", 64),
+            ("ecn", 4),
+            ("total_length", 1 << 16),
+            ("protocol", -1),
+        ],
+    )
+    def test_field_ranges_enforced(self, field, value):
+        kwargs = {"src": Ipv4Address(1), "dst": Ipv4Address(2), field: value}
+        with pytest.raises(HeaderError):
+            Ipv4Header(**kwargs)
+
+    @given(
+        src=ips,
+        dst=ips,
+        dscp=st.integers(0, 63),
+        ecn=st.integers(0, 3),
+        ttl=st.integers(0, 255),
+        total_length=st.integers(0, 0xFFFF),
+        identification=st.integers(0, 0xFFFF),
+    )
+    def test_round_trip_property(self, src, dst, dscp, ecn, ttl, total_length, identification):
+        ip = Ipv4Header(
+            src=src,
+            dst=dst,
+            dscp=dscp,
+            ecn=ecn,
+            ttl=ttl,
+            total_length=total_length,
+            identification=identification,
+        )
+        assert Ipv4Header.unpack(ip.pack()) == ip
+
+
+class TestUdp:
+    def test_pack_length(self):
+        udp = UdpHeader(src_port=1000, dst_port=4791)
+        assert len(udp.pack()) == UdpHeader.LENGTH == 8
+
+    def test_round_trip(self):
+        udp = UdpHeader(src_port=49152, dst_port=4791, length=64, checksum=0)
+        assert UdpHeader.unpack(udp.pack()) == udp
+
+    def test_port_range_enforced(self):
+        with pytest.raises(HeaderError):
+            UdpHeader(src_port=70000, dst_port=1)
+
+    @given(
+        src_port=st.integers(0, 0xFFFF),
+        dst_port=st.integers(0, 0xFFFF),
+        length=st.integers(0, 0xFFFF),
+    )
+    def test_round_trip_property(self, src_port, dst_port, length):
+        udp = UdpHeader(src_port=src_port, dst_port=dst_port, length=length)
+        assert UdpHeader.unpack(udp.pack()) == udp

@@ -1,0 +1,132 @@
+"""Tests for the discrete-event simulator kernel."""
+
+import pytest
+
+from repro.sim.simulator import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order(sim):
+    fired = []
+    sim.schedule(30.0, fired.append, "c")
+    sim.schedule(10.0, fired.append, "a")
+    sim.schedule(20.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30.0
+
+
+def test_same_time_events_fire_fifo(sim):
+    fired = []
+    for label in ("first", "second", "third"):
+        sim.schedule(5.0, fired.append, label)
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_zero_delay_event_fires_after_current(sim):
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(0.0, fired.append, "inner")
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == ["outer", "inner"]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected(sim):
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    event = sim.schedule(10.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.events_processed == 0
+
+
+def test_cancel_is_idempotent(sim):
+    event = sim.schedule(10.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_run_until_deadline_leaves_later_events_pending(sim):
+    fired = []
+    sim.schedule(10.0, fired.append, "early")
+    sim.schedule(100.0, fired.append, "late")
+    sim.run(until_ns=50.0)
+    assert fired == ["early"]
+    assert sim.now == 50.0
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_for_advances_relative(sim):
+    sim.schedule(10.0, lambda: None)
+    sim.run(until_ns=20.0)
+    sim.schedule(15.0, lambda: None)
+    sim.run_for(10.0)
+    assert sim.now == 30.0
+    assert sim.pending_events == 1
+
+
+def test_max_events_budget(sim):
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_returns_false_when_empty(sim):
+    assert sim.step() is False
+
+
+def test_events_processed_counts_only_fired(sim):
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    sim.run()
+    assert sim.events_processed == 1
+
+
+def test_deterministic_interleaving():
+    """Two identical schedules must produce identical traces."""
+
+    def trace():
+        sim = Simulator()
+        out = []
+        sim.schedule(5.0, out.append, "a")
+        sim.schedule(5.0, lambda: sim.schedule(0.0, out.append, "nested"))
+        sim.schedule(5.0, out.append, "b")
+        sim.run()
+        return out
+
+    assert trace() == trace()
+
+
+def test_reentrant_run_rejected(sim):
+    def recurse():
+        sim.run()
+
+    sim.schedule(1.0, recurse)
+    with pytest.raises(SimulationError):
+        sim.run()

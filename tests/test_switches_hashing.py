@@ -1,0 +1,101 @@
+"""Tests for hash externs and flow keys."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.headers import EthernetHeader, Ipv4Header, UdpHeader
+from repro.net.packet import Packet
+from repro.switches.hashing import FiveTuple, crc16, crc32, hash_fields
+
+
+class TestCrc:
+    def test_crc16_known_vector(self):
+        # CRC-16/ARC of "123456789" is 0xBB3D.
+        assert crc16(b"123456789") == 0xBB3D
+
+    def test_crc32_known_vector(self):
+        # CRC-32 of "123456789" is 0xCBF43926.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_empty_inputs(self):
+        assert crc16(b"") == 0
+        assert crc32(b"") == 0
+
+    @given(st.binary(max_size=64))
+    def test_crc16_deterministic_and_bounded(self, data):
+        assert crc16(data) == crc16(data)
+        assert 0 <= crc16(data) <= 0xFFFF
+
+
+class TestHashFields:
+    def test_width_truncation(self):
+        value = hash_fields([1, 2, 3], width_bits=8)
+        assert 0 <= value < 256
+
+    def test_field_boundaries_matter(self):
+        # (1, 23) and (12, 3) must not collide by concatenation.
+        assert hash_fields([1, 23]) != hash_fields([12, 3])
+
+    def test_bytes_and_int_fields(self):
+        assert hash_fields([b"abc", 7]) == hash_fields([b"abc", 7])
+
+    def test_address_fields_supported(self):
+        value = hash_fields([Ipv4Address("10.0.0.1"), MacAddress(5)])
+        assert isinstance(value, int)
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(ValueError):
+            hash_fields([-1])
+
+
+def make_packet(src="10.0.0.1", dst="10.0.0.2", sport=1000, dport=2000):
+    return Packet(
+        headers=[
+            EthernetHeader(dst=MacAddress(2), src=MacAddress(1)),
+            Ipv4Header(src=Ipv4Address(src), dst=Ipv4Address(dst)),
+            UdpHeader(src_port=sport, dst_port=dport),
+        ]
+    )
+
+
+class TestFiveTuple:
+    def test_extraction(self):
+        ft = FiveTuple.of(make_packet())
+        assert ft.src_ip == Ipv4Address("10.0.0.1").value
+        assert ft.protocol == 17
+        assert (ft.src_port, ft.dst_port) == (1000, 2000)
+
+    def test_same_flow_same_hash(self):
+        a = FiveTuple.of(make_packet())
+        b = FiveTuple.of(make_packet())
+        assert a == b
+        assert a.hash() == b.hash()
+
+    def test_different_flows_differ(self):
+        a = FiveTuple.of(make_packet(sport=1000))
+        b = FiveTuple.of(make_packet(sport=1001))
+        assert a != b
+
+    def test_hash_width(self):
+        ft = FiveTuple.of(make_packet())
+        assert 0 <= ft.hash(width_bits=10) < 1024
+
+    def test_non_udp_packet_zero_ports(self):
+        packet = Packet(
+            headers=[
+                EthernetHeader(dst=MacAddress(2), src=MacAddress(1)),
+                Ipv4Header(
+                    src=Ipv4Address("10.0.0.1"),
+                    dst=Ipv4Address("10.0.0.2"),
+                    protocol=6,
+                ),
+            ]
+        )
+        ft = FiveTuple.of(packet)
+        assert (ft.src_port, ft.dst_port) == (0, 0)
+
+    def test_usable_as_dict_key(self):
+        cache = {FiveTuple.of(make_packet()): "entry"}
+        assert cache[FiveTuple.of(make_packet())] == "entry"

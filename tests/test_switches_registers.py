@@ -1,0 +1,79 @@
+"""Tests for register arrays."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.switches.registers import RegisterArray
+
+
+def test_zero_initialised():
+    reg = RegisterArray("r", size=8)
+    assert all(reg.read(i) == 0 for i in range(8))
+
+
+def test_write_read():
+    reg = RegisterArray("r", size=4)
+    reg.write(2, 99)
+    assert reg.read(2) == 99
+
+
+def test_width_masking():
+    reg = RegisterArray("r", size=2, width_bits=8)
+    reg.write(0, 0x1FF)
+    assert reg.read(0) == 0xFF
+
+
+def test_add_wraps_at_width():
+    reg = RegisterArray("r", size=1, width_bits=8)
+    reg.write(0, 250)
+    assert reg.add(0, 10) == (250 + 10) % 256
+
+
+def test_update_applies_function():
+    reg = RegisterArray("r", size=1)
+    reg.write(0, 10)
+    assert reg.update(0, lambda v: v * 3) == 30
+
+
+def test_index_bounds():
+    reg = RegisterArray("r", size=4)
+    with pytest.raises(IndexError):
+        reg.read(4)
+    with pytest.raises(IndexError):
+        reg.write(-1, 0)
+
+
+def test_fill():
+    reg = RegisterArray("r", size=3)
+    reg.fill(7)
+    assert [reg.read(i) for i in range(3)] == [7, 7, 7]
+
+
+def test_access_counters():
+    reg = RegisterArray("r", size=2)
+    reg.write(0, 1)
+    reg.read(0)
+    reg.add(1, 1)
+    assert reg.reads == 2  # read + add's read
+    assert reg.writes == 2  # write + add's write
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        RegisterArray("r", size=0)
+    with pytest.raises(ValueError):
+        RegisterArray("r", size=1, width_bits=65)
+
+
+@given(
+    width=st.integers(1, 64),
+    value=st.integers(0, (1 << 64) - 1),
+    delta=st.integers(0, (1 << 64) - 1),
+)
+def test_add_always_within_width(width, value, delta):
+    reg = RegisterArray("r", size=1, width_bits=width)
+    reg.write(0, value)
+    result = reg.add(0, delta)
+    assert 0 <= result < (1 << width)
+    assert result == (value % (1 << width) + delta) % (1 << width)
