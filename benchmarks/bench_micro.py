@@ -4,8 +4,27 @@ Unlike the paper-figure benchmarks (one long simulation timed once), these
 use pytest-benchmark's repeated timing to track the hot paths a simulation
 study lives or dies by: event dispatch, header serialization, hash
 externs, and a full RDMA round trip.
+
+Run directly (``python benchmarks/bench_micro.py``) this module times the
+same hot paths with :mod:`repro.analysis.profiling` and writes a
+machine-readable ``BENCH_micro.json`` perf record; when a baseline record
+exists (``benchmarks/BENCH_micro_seed.json`` by default) the report also
+carries per-benchmark speedups, which is how the fast-path work is tracked
+PR over PR.
 """
 
+import argparse
+import os
+import sys
+
+from repro.analysis.profiling import (
+    PerfRecord,
+    Profiler,
+    load_report,
+    make_report,
+    throughput,
+    write_report,
+)
 from repro.net.addresses import Ipv4Address, MacAddress
 from repro.net.headers import EthernetHeader, Ipv4Header, UdpHeader
 from repro.net.packet import Packet
@@ -99,3 +118,155 @@ def test_rdma_write_round_trip(benchmark):
 
     writes = benchmark(one_write)
     assert writes == 1
+
+
+# -- standalone perf-record harness -----------------------------------------
+
+
+def _event_loop_record(n_events: int = 200_000, chains: int = 256) -> PerfRecord:
+    """Time *chains* concurrent self-rescheduling tick chains.
+
+    Concurrent chains keep the heap ~*chains* entries deep, matching what
+    real experiments look like (every in-flight packet holds an event), so
+    the benchmark exercises heap sifting rather than just dispatch.
+    """
+    sim = Simulator()
+    remaining = [n_events]
+
+    def tick():
+        r = remaining[0] - 1
+        remaining[0] = r
+        if r >= chains:
+            sim.schedule(1.0, tick)
+
+    for _ in range(chains):
+        sim.schedule(1.0, tick)
+    with Profiler("simulator_event_throughput") as prof:
+        sim.run()
+    record = prof.record
+    assert record is not None and record.events == n_events
+    return record
+
+
+def _cancel_heavy_record(n_events: int = 50_000) -> PerfRecord:
+    """Event loop where half the scheduled events are cancelled (timeouts)."""
+    sim = Simulator()
+    remaining = [n_events]
+
+    def tick():
+        remaining[0] -= 1
+        doomed = sim.schedule(2.0, tick)
+        doomed.cancel()
+        if remaining[0] > 0:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    with Profiler("simulator_cancel_throughput") as prof:
+        sim.run()
+    record = prof.record
+    assert record is not None and record.events == n_events
+    return record
+
+
+def collect_records(quick: bool = False):
+    """Run every microbenchmark; returns {name: PerfRecord}."""
+    scale = 0.05 if quick else 0.3
+    packet = _sample_packet()
+    raw_roce = packet.pack()[42:]
+    fresh = _sample_packet()
+
+    def pack_fresh():
+        # Re-assign a field so codec caching cannot trivialize the loop:
+        # this exercises the invalidate-then-repack path.
+        fresh.require(Ipv4Header).identification ^= 1
+        return fresh.pack()
+
+    records = {
+        "simulator_event_throughput": _event_loop_record(
+            20_000 if quick else 200_000
+        ),
+        "simulator_cancel_throughput": _cancel_heavy_record(
+            5_000 if quick else 50_000
+        ),
+        "packet_pack_cached": throughput(
+            "packet_pack_cached", packet.pack, min_seconds=scale
+        ),
+        "packet_pack_mutating": throughput(
+            "packet_pack_mutating", pack_fresh, min_seconds=scale
+        ),
+        "roce_parse": throughput(
+            "roce_parse", lambda: parse_roce(raw_roce), min_seconds=scale
+        ),
+        "packet_clone": throughput(
+            "packet_clone", packet.clone, min_seconds=scale
+        ),
+        "packet_frame_len": throughput(
+            "packet_frame_len", lambda: packet.frame_len, min_seconds=scale
+        ),
+        "rdma_write_round_trip": throughput(
+            "rdma_write_round_trip", _one_rdma_write, min_seconds=scale
+        ),
+    }
+    return records
+
+
+def _one_rdma_write():
+    from repro.apps.programs import StaticL2Program
+    from repro.core.rocegen import RoceRequestGenerator
+    from repro.experiments.topology import build_testbed
+
+    tb = build_testbed(n_hosts=1)
+    program = StaticL2Program()
+    program.install(tb.hosts[0].eth.mac, tb.host_ports[0])
+    program.install(tb.memory_server.eth.mac, tb.server_port)
+    tb.switch.bind_program(program)
+    channel = tb.controller.open_channel(tb.memory_server, tb.server_port, 4096)
+    gen = RoceRequestGenerator(tb.switch, channel)
+    gen.write(channel.base_address, b"x" * 64)
+    tb.sim.run()
+    assert channel.region.writes == 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Microbenchmark the simulation fast path; emit a JSON perf record."
+    )
+    parser.add_argument(
+        "--output", default="BENCH_micro.json", help="perf record path"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "BENCH_micro_seed.json"),
+        help="baseline record to compute speedups against ('' to skip)",
+    )
+    parser.add_argument(
+        "--label", default="bench_micro", help="label stored in the record"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced iteration counts (CI smoke)"
+    )
+    args = parser.parse_args(argv)
+
+    records = collect_records(quick=args.quick)
+    baseline = None
+    if args.baseline and os.path.exists(args.baseline):
+        baseline = load_report(args.baseline)
+    report = make_report(args.label, records, baseline=baseline)
+    write_report(args.output, report)
+
+    for name, record in sorted(records.items()):
+        rate = record.extra.get("ops_per_sec") or record.events_per_sec
+        speed = report.get("speedup", {}).get(name)
+        suffix = f"  ({speed:.2f}x vs baseline)" if speed else ""
+        print(f"{name:32s} {rate:14,.0f} ops/s{suffix}")
+    print(f"\nwrote {args.output}")
+    if baseline is not None:
+        events_speedup = report["speedup"].get("simulator_event_throughput")
+        if events_speedup is not None:
+            print(f"event-loop speedup vs {report['baseline_label']}: "
+                  f"{events_speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,261 @@
+"""Lightweight profiling for the simulation fast path.
+
+Three layers, all cheap enough to stay on in production runs:
+
+* **Sections** — named wall-clock accumulators (``with section("codec")``)
+  giving per-module cumulative time without the overhead of a tracing
+  profiler.
+* **Counters** — process-wide totals maintained by the hot loops
+  themselves (events fired by every :class:`~repro.sim.simulator.Simulator`,
+  packets constructed by :class:`~repro.net.packet.Packet`), sampled
+  before/after a run to derive events/sec and packets/sec.
+* **Records** — :class:`PerfRecord` snapshots serialized as JSON so the
+  performance trajectory is tracked PR over PR (``BENCH_micro.json``);
+  :func:`compare_records` computes speedups against a stored baseline.
+
+The CLI exposes this via ``repro-experiments --profile out.json <cmd>``;
+``python benchmarks/bench_micro.py`` emits a full microbenchmark record.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+#: Schema tag stamped into every JSON perf record.
+RECORD_SCHEMA = "repro-perf-record/v1"
+
+# -- per-module cumulative sections -----------------------------------------
+
+_section_times: Dict[str, float] = {}
+_section_calls: Dict[str, int] = {}
+
+
+@contextmanager
+def section(name: str) -> Iterator[None]:
+    """Accumulate the wall-clock time of the enclosed block under *name*."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        _section_times[name] = _section_times.get(name, 0.0) + elapsed
+        _section_calls[name] = _section_calls.get(name, 0) + 1
+
+
+def section_times() -> Dict[str, Dict[str, float]]:
+    """Cumulative time and call count per section, keyed by section name."""
+    return {
+        name: {"seconds": _section_times[name], "calls": _section_calls[name]}
+        for name in sorted(_section_times)
+    }
+
+
+def reset_sections() -> None:
+    """Clear all accumulated section timings."""
+    _section_times.clear()
+    _section_calls.clear()
+
+
+# -- hot-loop counters -------------------------------------------------------
+
+
+def sim_counters() -> Dict[str, int]:
+    """Sample the process-wide hot-loop counters.
+
+    Imported lazily so that profiling stays importable even if only a
+    subset of the library is on the path.
+    """
+    from ..net.packet import packets_created
+    from ..sim.simulator import total_events_fired
+
+    return {
+        "events_fired": total_events_fired(),
+        "packets_created": packets_created(),
+    }
+
+
+# -- perf records ------------------------------------------------------------
+
+
+@dataclass
+class PerfRecord:
+    """One profiled run: wall time plus hot-loop throughput."""
+
+    label: str
+    wall_s: float
+    events: int = 0
+    packets: int = 0
+    sections: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def packets_per_sec(self) -> float:
+        return self.packets / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "wall_s": self.wall_s,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "packets": self.packets,
+            "packets_per_sec": self.packets_per_sec,
+            "sections": self.sections,
+            "extra": self.extra,
+        }
+
+
+class Profiler:
+    """Context manager capturing a :class:`PerfRecord` around a block.
+
+    Example::
+
+        with Profiler("fig3a") as prof:
+            run_fig3a()
+        write_record("perf.json", [prof.record])
+    """
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.record: Optional[PerfRecord] = None
+        self._start = 0.0
+        self._counters: Dict[str, int] = {}
+
+    def __enter__(self) -> "Profiler":
+        self._counters = sim_counters()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        wall = time.perf_counter() - self._start
+        after = sim_counters()
+        self.record = PerfRecord(
+            label=self.label,
+            wall_s=wall,
+            events=after["events_fired"] - self._counters["events_fired"],
+            packets=after["packets_created"] - self._counters["packets_created"],
+            sections=section_times(),
+        )
+
+
+def measure(
+    label: str, fn: Callable[..., Any], *args: Any, **kwargs: Any
+) -> Tuple[Any, PerfRecord]:
+    """Run ``fn(*args, **kwargs)`` under a :class:`Profiler`."""
+    with Profiler(label) as prof:
+        result = fn(*args, **kwargs)
+    assert prof.record is not None
+    return result, prof.record
+
+
+def throughput(label: str, fn: Callable[[], Any], min_seconds: float = 0.2) -> PerfRecord:
+    """Repeatedly call *fn* until ``min_seconds`` elapse; derive ops/sec.
+
+    Used by the microbenchmark harness for codec-level loops where a
+    single call is too short to time reliably.  The call count is stored
+    as ``extra["calls"]`` and ops/sec as ``extra["ops_per_sec"]``.
+    """
+    # Warm up once (struct compilation, caches, attribute resolution).
+    fn()
+    calls = 0
+    before = sim_counters()
+    start = time.perf_counter()
+    deadline = start + min_seconds
+    now = start
+    while now < deadline:
+        fn()
+        calls += 1
+        now = time.perf_counter()
+    wall = now - start
+    after = sim_counters()
+    record = PerfRecord(
+        label=label,
+        wall_s=wall,
+        events=after["events_fired"] - before["events_fired"],
+        packets=after["packets_created"] - before["packets_created"],
+    )
+    record.extra["calls"] = calls
+    record.extra["ops_per_sec"] = calls / wall if wall > 0 else 0.0
+    return record
+
+
+# -- JSON persistence --------------------------------------------------------
+
+
+def environment_info() -> Dict[str, str]:
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+    }
+
+
+def make_report(
+    label: str,
+    records: Dict[str, PerfRecord],
+    baseline: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the machine-readable perf report for *records*.
+
+    When *baseline* (a previously written report) is given, a ``speedup``
+    map is included: per-benchmark ratio of current ops/sec (or
+    events/sec) over the baseline's.
+    """
+    report: Dict[str, Any] = {
+        "schema": RECORD_SCHEMA,
+        "label": label,
+        "timestamp": time.time(),
+        "environment": environment_info(),
+        "results": {name: rec.to_dict() for name, rec in records.items()},
+    }
+    if baseline is not None:
+        report["baseline_label"] = baseline.get("label")
+        report["speedup"] = compare_records(report, baseline)
+    return report
+
+
+def _rate_of(result: Dict[str, Any]) -> float:
+    rate = result.get("extra", {}).get("ops_per_sec", 0.0)
+    if not rate:
+        rate = result.get("events_per_sec", 0.0)
+    if not rate and result.get("wall_s"):
+        rate = 1.0 / result["wall_s"]
+    return rate
+
+
+def compare_records(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> Dict[str, float]:
+    """Per-benchmark speedup of *current* over *baseline* (>1 is faster)."""
+    speedups: Dict[str, float] = {}
+    base_results = baseline.get("results", {})
+    for name, result in current.get("results", {}).items():
+        base = base_results.get(name)
+        if not base:
+            continue
+        base_rate = _rate_of(base)
+        rate = _rate_of(result)
+        if base_rate > 0 and rate > 0:
+            speedups[name] = rate / base_rate
+    return speedups
+
+
+def write_report(path: str, report: Dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)

@@ -11,6 +11,7 @@ Installed as ``repro-experiments`` (see pyproject.toml).  Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List
 
@@ -149,6 +150,15 @@ def build_parser() -> argparse.ArgumentParser:
             "for Switch Data Planes' (HotNets 2018)."
         ),
     )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help=(
+            "profile the run (wall time, events/sec, packets/sec, section "
+            "times) and write a JSON perf record to PATH"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("fig3a", help="latency overhead of the lookup primitive")
@@ -215,7 +225,27 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: List[str] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    print(args.fn(args))
+    if args.profile:
+        from .analysis.profiling import Profiler, make_report, write_report
+
+        # Fail before the (possibly long) run, not after it.
+        profile_dir = os.path.dirname(os.path.abspath(args.profile))
+        if not os.path.isdir(profile_dir):
+            parser.error(f"--profile: directory does not exist: {profile_dir}")
+
+        with Profiler(args.command) as prof:
+            print(args.fn(args))
+        record = prof.record
+        assert record is not None
+        write_report(args.profile, make_report(args.command, {args.command: record}))
+        print(
+            f"[profile] {record.wall_s:.3f}s wall, "
+            f"{record.events_per_sec:,.0f} events/s, "
+            f"{record.packets_per_sec:,.0f} packets/s -> {args.profile}",
+            file=sys.stderr,
+        )
+    else:
+        print(args.fn(args))
     return 0
 
 

@@ -5,12 +5,21 @@ round-trip exactly; property-based tests assert this invariant.  Packets in
 the simulator carry *structured* header objects for speed, but wire sizes and
 serialized bytes always come from these codecs, so bandwidth accounting is
 grounded in the real formats rather than hard-coded constants.
+
+Fast-path notes: all codecs use module-level precompiled
+:class:`struct.Struct` instances (no per-call format parsing), and every
+header caches its serialized bytes via :class:`CachedPackMixin` — the cache
+is invalidated only when a field assignment actually changes a value, so
+re-packing an unmodified header (the overwhelmingly common case in the
+simulator, e.g. a packet traversing several hops) is a dict lookup.  The
+IPv4 checksum is computed arithmetically from the header fields on the
+pack path and memoized by input bytes on the verify path.
 """
 
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .addresses import Ipv4Address, MacAddress
 
@@ -34,13 +43,54 @@ ETHERNET_WIRE_OVERHEAD = (
 #: Minimum Ethernet frame size (header + payload + FCS), excluding preamble/IFG.
 ETHERNET_MIN_FRAME = 64
 
+# Precompiled wire formats (struct.Struct avoids per-call format parsing).
+_ETH_STRUCT = struct.Struct("!6s6sH")
+_IPV4_STRUCT = struct.Struct("!BBHHHBBH4s4s")
+_UDP_STRUCT = struct.Struct("!HHHH")
+_WORDS_10 = struct.Struct("!10H")
+
 
 class HeaderError(ValueError):
     """Raised when a header cannot be decoded from raw bytes."""
 
 
+_MISSING = object()
+
+
+class CachedPackMixin:
+    """Caches a header's serialized bytes, invalidating on field mutation.
+
+    Subclasses implement ``_pack() -> bytes``; ``pack()`` returns the cached
+    bytes when no field has changed since the last serialization.  The
+    invalidation hook compares old and new values, so rewriting a field
+    with an identical value (e.g. ``fixup_lengths`` stamping an unchanged
+    length on every pack) keeps the cache warm.  ``unpack`` constructors
+    pre-seed the cache with the consumed wire bytes.
+    """
+
+    __slots__ = ()
+
+    def __setattr__(self, name: str, value: object) -> None:
+        d = self.__dict__
+        if "_packed" in d:
+            old = d.get(name, _MISSING)
+            if old is not value and old != value:
+                del d["_packed"]
+        d[name] = value
+
+    def pack(self) -> bytes:
+        d = self.__dict__
+        packed = d.get("_packed")
+        if packed is None:
+            packed = d["_packed"] = self._pack()
+        return packed
+
+    def _pack(self) -> bytes:
+        raise NotImplementedError
+
+
 @dataclass
-class EthernetHeader:
+class EthernetHeader(CachedPackMixin):
     """IEEE 802.3 Ethernet II header (14 bytes, no VLAN tag)."""
 
     dst: MacAddress
@@ -55,44 +105,67 @@ class EthernetHeader:
         if not 0 <= self.ethertype <= 0xFFFF:
             raise HeaderError(f"ethertype out of range: {self.ethertype:#x}")
 
-    def pack(self) -> bytes:
-        return (
-            self.dst.to_bytes()
-            + self.src.to_bytes()
-            + struct.pack("!H", self.ethertype)
+    def _pack(self) -> bytes:
+        return _ETH_STRUCT.pack(
+            self.dst.to_bytes(), self.src.to_bytes(), self.ethertype
         )
 
     @classmethod
     def unpack(cls, data: bytes) -> "EthernetHeader":
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short Ethernet header: {len(data)} bytes")
-        dst = MacAddress.from_bytes(data[0:6])
-        src = MacAddress.from_bytes(data[6:12])
-        (ethertype,) = struct.unpack("!H", data[12:14])
-        return cls(dst=dst, src=src, ethertype=ethertype)
+        raw = data[: cls.LENGTH]
+        dst, src, ethertype = _ETH_STRUCT.unpack(raw)
+        # Direct __dict__ fill: skips the cache-invalidation __setattr__ and
+        # __post_init__ revalidation — every field is width-limited by the
+        # wire format itself.
+        header = object.__new__(cls)
+        header.__dict__.update(
+            dst=MacAddress.from_bytes(dst),
+            src=MacAddress.from_bytes(src),
+            ethertype=ethertype,
+            _packed=raw,
+        )
+        return header
 
     @property
     def byte_len(self) -> int:
         return self.LENGTH
 
 
+_checksum_cache: dict = {}
+
+
 def ipv4_checksum(header_bytes: bytes) -> int:
     """Compute the RFC 1071 one's-complement checksum over *header_bytes*.
 
-    The checksum field itself must be zeroed in the input.
+    The checksum field itself must be zeroed in the input.  Results are
+    memoized by input bytes (bounded), since the verify path recomputes
+    the checksum of identical headers once per hop.
     """
-    if len(header_bytes) % 2:
-        header_bytes += b"\x00"
-    total = 0
-    for (word,) in struct.iter_unpack("!H", header_bytes):
-        total += word
+    cached = _checksum_cache.get(header_bytes)
+    if cached is not None:
+        return cached
+    data = header_bytes
+    if len(data) % 2:
+        data += b"\x00"
+    if len(data) == 20:
+        total = sum(_WORDS_10.unpack(data))
+    else:
+        total = 0
+        for (word,) in struct.iter_unpack("!H", data):
+            total += word
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
-    return (~total) & 0xFFFF
+    result = (~total) & 0xFFFF
+    if len(_checksum_cache) >= 8192:
+        _checksum_cache.clear()
+    _checksum_cache[header_bytes] = result
+    return result
 
 
 @dataclass
-class Ipv4Header:
+class Ipv4Header(CachedPackMixin):
     """IPv4 header (20 bytes, no options).
 
     ``total_length`` covers the IPv4 header plus everything after it; the
@@ -130,12 +203,29 @@ class Ipv4Header:
             if not 0 <= value <= limit:
                 raise HeaderError(f"IPv4 {name} out of range: {value}")
 
-    def pack(self) -> bytes:
+    def _pack(self) -> bytes:
         version_ihl = (4 << 4) | 5
         tos = (self.dscp << 2) | self.ecn
         flags_frag = (self.flags << 13) | self.fragment_offset
-        without_checksum = struct.pack(
-            "!BBHHHBBH4s4s",
+        src = self.src.value
+        dst = self.dst.value
+        # RFC 1071 checksum computed arithmetically from the fields — no
+        # intermediate zero-checksum serialization.
+        total = (
+            (version_ihl << 8 | tos)
+            + self.total_length
+            + self.identification
+            + flags_frag
+            + (self.ttl << 8 | self.protocol)
+            + (src >> 16)
+            + (src & 0xFFFF)
+            + (dst >> 16)
+            + (dst & 0xFFFF)
+        )
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        checksum = (~total) & 0xFFFF
+        return _IPV4_STRUCT.pack(
             version_ihl,
             tos,
             self.total_length,
@@ -143,17 +233,16 @@ class Ipv4Header:
             flags_frag,
             self.ttl,
             self.protocol,
-            0,
+            checksum,
             self.src.to_bytes(),
             self.dst.to_bytes(),
         )
-        checksum = ipv4_checksum(without_checksum)
-        return without_checksum[:10] + struct.pack("!H", checksum) + without_checksum[12:]
 
     @classmethod
     def unpack(cls, data: bytes) -> "Ipv4Header":
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short IPv4 header: {len(data)} bytes")
+        raw = data[: cls.LENGTH]
         (
             version_ihl,
             tos,
@@ -165,20 +254,23 @@ class Ipv4Header:
             checksum,
             src,
             dst,
-        ) = struct.unpack("!BBHHHBBH4s4s", data[: cls.LENGTH])
+        ) = _IPV4_STRUCT.unpack(raw)
         version = version_ihl >> 4
         ihl = version_ihl & 0xF
         if version != 4:
             raise HeaderError(f"not an IPv4 header (version={version})")
         if ihl != 5:
             raise HeaderError(f"IPv4 options unsupported (ihl={ihl})")
-        verify = data[:10] + b"\x00\x00" + data[12 : cls.LENGTH]
+        verify = raw[:10] + b"\x00\x00" + raw[12:]
         expected = ipv4_checksum(verify)
         if checksum != expected:
             raise HeaderError(
                 f"bad IPv4 checksum: {checksum:#06x} != {expected:#06x}"
             )
-        return cls(
+        # Direct __dict__ fill (see EthernetHeader.unpack): wire-masked
+        # fields cannot be out of range.
+        header = object.__new__(cls)
+        header.__dict__.update(
             src=Ipv4Address.from_bytes(src),
             dst=Ipv4Address.from_bytes(dst),
             protocol=protocol,
@@ -189,7 +281,9 @@ class Ipv4Header:
             identification=identification,
             flags=flags_frag >> 13,
             fragment_offset=flags_frag & 0x1FFF,
+            _packed=raw,
         )
+        return header
 
     @property
     def byte_len(self) -> int:
@@ -197,7 +291,7 @@ class Ipv4Header:
 
 
 @dataclass
-class UdpHeader:
+class UdpHeader(CachedPackMixin):
     """UDP header (8 bytes).
 
     The checksum is carried verbatim; RoCEv2 sets it to zero, which is legal
@@ -221,19 +315,26 @@ class UdpHeader:
             if not 0 <= value <= 0xFFFF:
                 raise HeaderError(f"UDP {name} out of range: {value}")
 
-    def pack(self) -> bytes:
-        return struct.pack(
-            "!HHHH", self.src_port, self.dst_port, self.length, self.checksum
+    def _pack(self) -> bytes:
+        return _UDP_STRUCT.pack(
+            self.src_port, self.dst_port, self.length, self.checksum
         )
 
     @classmethod
     def unpack(cls, data: bytes) -> "UdpHeader":
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short UDP header: {len(data)} bytes")
-        src_port, dst_port, length, checksum = struct.unpack(
-            "!HHHH", data[: cls.LENGTH]
+        raw = data[: cls.LENGTH]
+        src_port, dst_port, length, checksum = _UDP_STRUCT.unpack(raw)
+        header = object.__new__(cls)
+        header.__dict__.update(
+            src_port=src_port,
+            dst_port=dst_port,
+            length=length,
+            checksum=checksum,
+            _packed=raw,
         )
-        return cls(src_port=src_port, dst_port=dst_port, length=length, checksum=checksum)
+        return header
 
     @property
     def byte_len(self) -> int:

@@ -8,13 +8,21 @@ accounting.
 
 ``meta`` carries simulation-only annotations (flow ids, creation timestamps,
 trace hooks) that never appear on the wire and never count toward sizes.
+
+Fast-path notes: header/trailer byte totals are cached and maintained
+incrementally — the stacks are :class:`_HeaderList` instances whose mutators
+invalidate the owning packet's size caches, so ``frame_len``/``wire_len``
+on an unchanged stack never re-walk it.  ``clone()`` duplicates each header
+shallowly (header field values are all immutable — ints, bytes, addresses)
+and shares the payload bytes instead of deep-copying, which is what a
+switch mirror semantically needs at a fraction of the cost.
 """
 
 from __future__ import annotations
 
 import copy
 import itertools
-from typing import Any, Dict, List, Optional, Type, TypeVar
+from typing import Any, Dict, Iterable, List, Optional, Type, TypeVar
 
 from .headers import (
     ETHERNET_FCS_BYTES,
@@ -31,6 +39,67 @@ H = TypeVar("H")
 
 _packet_ids = itertools.count(1)
 
+#: Process-wide count of packets constructed, for the profiling harness.
+_packets_created = 0
+
+
+def packets_created() -> int:
+    """Packets constructed in this process since import (all instances)."""
+    return _packets_created
+
+
+class _HeaderList(list):
+    """A header stack that invalidates its packet's size caches on mutation.
+
+    Every length-affecting mutator notifies the owning :class:`Packet`;
+    ``sort``/``reverse`` keep the same contents so they are left alone.
+    """
+
+    __slots__ = ("_owner",)
+
+    def append(self, item: Any) -> None:
+        list.append(self, item)
+        self._owner._dirty_sizes()
+
+    def extend(self, items: Iterable[Any]) -> None:
+        list.extend(self, items)
+        self._owner._dirty_sizes()
+
+    def insert(self, index: int, item: Any) -> None:
+        list.insert(self, index, item)
+        self._owner._dirty_sizes()
+
+    def remove(self, item: Any) -> None:
+        list.remove(self, item)
+        self._owner._dirty_sizes()
+
+    def pop(self, index: int = -1) -> Any:
+        item = list.pop(self, index)
+        self._owner._dirty_sizes()
+        return item
+
+    def clear(self) -> None:
+        list.clear(self)
+        self._owner._dirty_sizes()
+
+    def __setitem__(self, index: Any, value: Any) -> None:
+        list.__setitem__(self, index, value)
+        self._owner._dirty_sizes()
+
+    def __delitem__(self, index: Any) -> None:
+        list.__delitem__(self, index)
+        self._owner._dirty_sizes()
+
+    def __iadd__(self, items: Iterable[Any]) -> "_HeaderList":
+        list.extend(self, items)
+        self._owner._dirty_sizes()
+        return self
+
+    def __imul__(self, count: int) -> "_HeaderList":
+        result = list.__imul__(self, count)
+        self._owner._dirty_sizes()
+        return result
+
 
 class Packet:
     """A network packet: a header stack, payload bytes, optional trailers.
@@ -39,7 +108,15 @@ class Packet:
     and count toward all sizes, mirroring their position on the wire.
     """
 
-    __slots__ = ("headers", "payload", "trailers", "meta", "packet_id")
+    __slots__ = (
+        "_headers",
+        "payload",
+        "_trailers",
+        "meta",
+        "packet_id",
+        "_hdr_len",
+        "_trl_len",
+    )
 
     def __init__(
         self,
@@ -48,28 +125,61 @@ class Packet:
         trailers: Optional[List[Any]] = None,
         meta: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self.headers: List[Any] = list(headers) if headers else []
-        self.payload = bytes(payload)
-        self.trailers: List[Any] = list(trailers) if trailers else []
+        self._headers = self._adopt(headers)
+        self.payload = payload if type(payload) is bytes else bytes(payload)
+        self._trailers = self._adopt(trailers)
         self.meta: Dict[str, Any] = dict(meta) if meta else {}
         self.packet_id = next(_packet_ids)
+        self._hdr_len: Optional[int] = None
+        self._trl_len: Optional[int] = None
+        global _packets_created
+        _packets_created += 1
+
+    def _adopt(self, items: Optional[Iterable[Any]]) -> _HeaderList:
+        stack = _HeaderList(items) if items else _HeaderList()
+        stack._owner = self
+        return stack
+
+    def _dirty_sizes(self) -> None:
+        self._hdr_len = None
+        self._trl_len = None
+
+    @property
+    def headers(self) -> List[Any]:
+        """The header stack, outermost first (mutable in place)."""
+        return self._headers
+
+    @headers.setter
+    def headers(self, items: Iterable[Any]) -> None:
+        self._headers = self._adopt(list(items))
+        self._dirty_sizes()
+
+    @property
+    def trailers(self) -> List[Any]:
+        """The trailer stack (mutable in place)."""
+        return self._trailers
+
+    @trailers.setter
+    def trailers(self, items: Iterable[Any]) -> None:
+        self._trailers = self._adopt(list(items))
+        self._dirty_sizes()
 
     # -- header-stack manipulation -------------------------------------------
 
     def push(self, header: Any) -> "Packet":
         """Prepend *header* as the new outermost header (returns self)."""
-        self.headers.insert(0, header)
+        self._headers.insert(0, header)
         return self
 
     def pop(self) -> Any:
         """Remove and return the outermost header."""
-        if not self.headers:
+        if not self._headers:
             raise HeaderError("cannot pop from an empty header stack")
-        return self.headers.pop(0)
+        return self._headers.pop(0)
 
     def find(self, header_type: Type[H]) -> Optional[H]:
         """Return the first header of *header_type*, or None."""
-        for header in self.headers:
+        for header in self._headers:
             if isinstance(header, header_type):
                 return header
         return None
@@ -83,7 +193,7 @@ class Packet:
 
     def index_of(self, header_type: Type[Any]) -> int:
         """Return the stack index of the first header of *header_type*."""
-        for i, header in enumerate(self.headers):
+        for i, header in enumerate(self._headers):
             if isinstance(header, header_type):
                 return i
         raise HeaderError(f"packet has no {header_type.__name__}")
@@ -104,7 +214,7 @@ class Packet:
 
     def find_trailer(self, trailer_type: Type[H]) -> Optional[H]:
         """Return the first trailer of *trailer_type*, or None."""
-        for trailer in self.trailers:
+        for trailer in self._trailers:
             if isinstance(trailer, trailer_type):
                 return trailer
         return None
@@ -112,12 +222,18 @@ class Packet:
     @property
     def header_len(self) -> int:
         """Total bytes of all headers in the stack (trailers excluded)."""
-        return sum(h.byte_len for h in self.headers)
+        n = self._hdr_len
+        if n is None:
+            n = self._hdr_len = sum(h.byte_len for h in self._headers)
+        return n
 
     @property
     def trailer_len(self) -> int:
         """Total bytes of all trailers."""
-        return sum(t.byte_len for t in self.trailers)
+        n = self._trl_len
+        if n is None:
+            n = self._trl_len = sum(t.byte_len for t in self._trailers)
+        return n
 
     @property
     def frame_len(self) -> int:
@@ -145,28 +261,25 @@ class Packet:
     def fixup_lengths(self) -> None:
         """Make IPv4/UDP length fields consistent with the current stack.
 
-        Walks the stack once; for each IPv4 (resp. UDP) header the length
-        covers every header *after* it plus the payload.
+        Walks the stack once, innermost header outward; for each IPv4
+        (resp. UDP) header the length covers the header itself, every
+        header after it, the payload, and the trailers.
         """
-        trailer_bytes = self.trailer_len
-        for i, header in enumerate(self.headers):
-            tail = (
-                sum(h.byte_len for h in self.headers[i:])
-                + len(self.payload)
-                + trailer_bytes
-            )
+        after = len(self.payload) + self.trailer_len
+        for header in reversed(self._headers):
+            after += header.byte_len
             if isinstance(header, Ipv4Header):
-                header.total_length = tail
+                header.total_length = after
             elif isinstance(header, UdpHeader):
-                header.length = tail
+                header.length = after
 
     def pack(self) -> bytes:
         """Serialize the packet to bytes (without FCS/preamble/IFG)."""
         self.fixup_lengths()
         return (
-            b"".join(h.pack() for h in self.headers)
+            b"".join(h.pack() for h in self._headers)
             + self.payload
-            + b"".join(t.pack() for t in self.trailers)
+            + b"".join(t.pack() for t in self._trailers)
         )
 
     @classmethod
@@ -198,18 +311,48 @@ class Packet:
 
     # -- copying -----------------------------------------------------------------
 
+    @staticmethod
+    def _copy_header(header: Any) -> Any:
+        # Headers are dataclasses whose field values are all immutable
+        # (ints, bools, bytes, MacAddress/Ipv4Address), so a fresh object
+        # sharing the same values is as independent as a deep copy.
+        cls = type(header)
+        try:
+            dup = cls.__new__(cls)
+            dup.__dict__.update(header.__dict__)
+        except (TypeError, AttributeError):
+            return copy.deepcopy(header)
+        return dup
+
     def clone(self) -> "Packet":
-        """Deep-copy the packet (fresh packet_id), as a switch mirror would."""
-        cloned = Packet(
-            headers=[copy.deepcopy(h) for h in self.headers],
+        """Copy the packet (fresh packet_id), as a switch mirror would.
+
+        Headers and trailers are duplicated as independent objects (their
+        field values are immutable, so no deep copy is needed); the payload
+        bytes are shared, never copied.  Mutating the clone's headers or
+        payload cannot affect the original.  Scalar ``meta`` values are
+        carried over directly; container values are deep-copied.
+        """
+        copy_header = self._copy_header
+        meta = self.meta
+        if meta:
+            new_meta = {
+                key: value
+                if type(value) in (int, float, str, bytes, bool, type(None))
+                else copy.deepcopy(value)
+                for key, value in meta.items()
+            }
+        else:
+            new_meta = None
+        return Packet(
+            headers=[copy_header(h) for h in self._headers],
             payload=self.payload,
-            trailers=[copy.deepcopy(t) for t in self.trailers],
-            meta=copy.deepcopy(self.meta),
+            trailers=[copy_header(t) for t in self._trailers],
+            meta=new_meta,
         )
-        return cloned
 
     def __repr__(self) -> str:
-        names = "/".join(type(h).__name__.replace("Header", "") for h in self.headers)
+        names = "/".join(type(h).__name__.replace("Header", "") for h in self._headers)
         return (
             f"<Packet #{self.packet_id} {names or 'raw'} "
             f"payload={len(self.payload)}B frame={self.frame_len}B>"

@@ -5,6 +5,13 @@ one-sided RDMA with a commodity RNIC (§3–§4 of the paper).  All codecs
 round-trip byte-exactly.  Sizes match the paper's overhead analysis: BTH is
 12 B (so IPv4 + UDP + BTH = the 40 B the paper quotes for RoCEv2), RETH is
 16 B, AtomicETH is 28 B.
+
+Like the L2/L3 codecs in :mod:`repro.net.headers`, every header here uses
+module-level precompiled :class:`struct.Struct` instances and caches its
+serialized bytes via :class:`~repro.net.headers.CachedPackMixin`
+(invalidated only when a field assignment changes a value).  ICRC
+computation is memoized by input bytes, since retransmissions and mirrored
+packets re-CRC identical byte strings.
 """
 
 from __future__ import annotations
@@ -12,15 +19,23 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..net.headers import HeaderError
+from ..net.headers import CachedPackMixin, HeaderError
 from ..net.packet import Packet
 from .constants import Opcode
 
+# Precompiled wire formats (struct.Struct avoids per-call format parsing).
+_GRH_STRUCT = struct.Struct("!IHBB")
+_BTH_STRUCT = struct.Struct("!BBHII")
+_RETH_STRUCT = struct.Struct("!QII")
+_ATOMIC_ETH_STRUCT = struct.Struct("!QIQQ")
+_U32_STRUCT = struct.Struct("!I")
+_U64_STRUCT = struct.Struct("!Q")
+
 
 @dataclass
-class GrhHeader:
+class GrhHeader(CachedPackMixin):
     """Global Route Header (40 bytes) — RoCEv1's routing layer.
 
     RoCEv1 frames are ``Ethernet / GRH / BTH / ...`` with ethertype 0x8915
@@ -49,15 +64,14 @@ class GrhHeader:
         if not 0 <= self.flow_label < (1 << 20):
             raise HeaderError(f"GRH flow label out of range: {self.flow_label}")
 
-    def pack(self) -> bytes:
+    def _pack(self) -> bytes:
         word0 = (
             (6 << 28)
             | ((self.traffic_class & 0xFF) << 20)
             | (self.flow_label & 0xFFFFF)
         )
         return (
-            struct.pack(
-                "!IHBB",
+            _GRH_STRUCT.pack(
                 word0,
                 self.payload_length,
                 self.next_header,
@@ -71,12 +85,16 @@ class GrhHeader:
     def unpack(cls, data: bytes) -> "GrhHeader":
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short GRH: {len(data)} bytes")
-        word0, payload_length, next_header, hop_limit = struct.unpack(
-            "!IHBB", data[:8]
+        word0, payload_length, next_header, hop_limit = _GRH_STRUCT.unpack(
+            data[:8]
         )
         if word0 >> 28 != 6:
             raise HeaderError(f"bad GRH IP version: {word0 >> 28}")
-        return cls(
+        # Direct __dict__ fill: skips the cache-invalidation __setattr__ and
+        # __post_init__ revalidation — every field is width-limited by the
+        # wire format itself (the same pattern as repro.net.headers).
+        header = object.__new__(cls)
+        header.__dict__.update(
             src_gid=data[8:24],
             dst_gid=data[24:40],
             payload_length=payload_length,
@@ -84,7 +102,9 @@ class GrhHeader:
             hop_limit=hop_limit,
             traffic_class=(word0 >> 20) & 0xFF,
             flow_label=word0 & 0xFFFFF,
+            _packed=data[: cls.LENGTH],
         )
+        return header
 
     @property
     def byte_len(self) -> int:
@@ -97,7 +117,7 @@ def gid_from_ipv4(ip) -> bytes:
 
 
 @dataclass
-class BthHeader:
+class BthHeader(CachedPackMixin):
     """Base Transport Header (12 bytes) — present in every RoCE packet."""
 
     opcode: int
@@ -123,7 +143,7 @@ class BthHeader:
         if not 0 <= self.partition_key <= 0xFFFF:
             raise HeaderError(f"BTH pkey out of range: {self.partition_key}")
 
-    def pack(self) -> bytes:
+    def _pack(self) -> bytes:
         flags = (
             (int(self.solicited_event) << 7)
             | (int(self.migration_request) << 6)
@@ -132,16 +152,18 @@ class BthHeader:
         )
         word2 = self.dest_qp & 0x00FFFFFF  # high byte reserved
         word3 = ((int(self.ack_request) << 31) | self.psn) & 0xFFFFFFFF
-        return struct.pack(
-            "!BBHII", self.opcode, flags, self.partition_key, word2, word3
+        return _BTH_STRUCT.pack(
+            self.opcode, flags, self.partition_key, word2, word3
         )
 
     @classmethod
     def unpack(cls, data: bytes) -> "BthHeader":
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short BTH: {len(data)} bytes")
-        opcode, flags, pkey, word2, word3 = struct.unpack("!BBHII", data[: cls.LENGTH])
-        return cls(
+        raw = data[: cls.LENGTH]
+        opcode, flags, pkey, word2, word3 = _BTH_STRUCT.unpack(raw)
+        header = object.__new__(cls)
+        header.__dict__.update(
             opcode=opcode,
             dest_qp=word2 & 0x00FFFFFF,
             psn=word3 & 0x00FFFFFF,
@@ -150,7 +172,9 @@ class BthHeader:
             migration_request=bool(flags >> 6 & 1),
             pad_count=(flags >> 4) & 0x3,
             partition_key=pkey,
+            _packed=raw,
         )
+        return header
 
     @property
     def byte_len(self) -> int:
@@ -158,7 +182,7 @@ class BthHeader:
 
 
 @dataclass
-class RethHeader:
+class RethHeader(CachedPackMixin):
     """RDMA Extended Transport Header (16 bytes) — WRITE and READ requests."""
 
     virtual_address: int
@@ -175,15 +199,20 @@ class RethHeader:
         if not 0 <= self.dma_length < (1 << 32):
             raise HeaderError(f"RETH length out of range: {self.dma_length}")
 
-    def pack(self) -> bytes:
-        return struct.pack("!QII", self.virtual_address, self.rkey, self.dma_length)
+    def _pack(self) -> bytes:
+        return _RETH_STRUCT.pack(self.virtual_address, self.rkey, self.dma_length)
 
     @classmethod
     def unpack(cls, data: bytes) -> "RethHeader":
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short RETH: {len(data)} bytes")
-        va, rkey, length = struct.unpack("!QII", data[: cls.LENGTH])
-        return cls(virtual_address=va, rkey=rkey, dma_length=length)
+        raw = data[: cls.LENGTH]
+        va, rkey, length = _RETH_STRUCT.unpack(raw)
+        header = object.__new__(cls)
+        header.__dict__.update(
+            virtual_address=va, rkey=rkey, dma_length=length, _packed=raw
+        )
+        return header
 
     @property
     def byte_len(self) -> int:
@@ -191,7 +220,7 @@ class RethHeader:
 
 
 @dataclass
-class AtomicEthHeader:
+class AtomicEthHeader(CachedPackMixin):
     """Atomic Extended Transport Header (28 bytes) — Fetch-and-Add / CAS."""
 
     virtual_address: int
@@ -211,17 +240,26 @@ class AtomicEthHeader:
         if not 0 <= self.compare < (1 << 64):
             raise HeaderError(f"AtomicETH compare out of range: {self.compare}")
 
-    def pack(self) -> bytes:
-        return struct.pack(
-            "!QIQQ", self.virtual_address, self.rkey, self.swap_add, self.compare
+    def _pack(self) -> bytes:
+        return _ATOMIC_ETH_STRUCT.pack(
+            self.virtual_address, self.rkey, self.swap_add, self.compare
         )
 
     @classmethod
     def unpack(cls, data: bytes) -> "AtomicEthHeader":
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short AtomicETH: {len(data)} bytes")
-        va, rkey, swap_add, compare = struct.unpack("!QIQQ", data[: cls.LENGTH])
-        return cls(virtual_address=va, rkey=rkey, swap_add=swap_add, compare=compare)
+        raw = data[: cls.LENGTH]
+        va, rkey, swap_add, compare = _ATOMIC_ETH_STRUCT.unpack(raw)
+        header = object.__new__(cls)
+        header.__dict__.update(
+            virtual_address=va,
+            rkey=rkey,
+            swap_add=swap_add,
+            compare=compare,
+            _packed=raw,
+        )
+        return header
 
     @property
     def byte_len(self) -> int:
@@ -229,7 +267,7 @@ class AtomicEthHeader:
 
 
 @dataclass
-class AethHeader:
+class AethHeader(CachedPackMixin):
     """ACK Extended Transport Header (4 bytes) — responses and ACK/NAK."""
 
     syndrome: int
@@ -243,15 +281,20 @@ class AethHeader:
         if not 0 <= self.msn < (1 << 24):
             raise HeaderError(f"AETH MSN out of range: {self.msn}")
 
-    def pack(self) -> bytes:
-        return struct.pack("!I", (self.syndrome << 24) | self.msn)
+    def _pack(self) -> bytes:
+        return _U32_STRUCT.pack((self.syndrome << 24) | self.msn)
 
     @classmethod
     def unpack(cls, data: bytes) -> "AethHeader":
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short AETH: {len(data)} bytes")
-        (word,) = struct.unpack("!I", data[: cls.LENGTH])
-        return cls(syndrome=word >> 24, msn=word & 0x00FFFFFF)
+        raw = data[: cls.LENGTH]
+        (word,) = _U32_STRUCT.unpack(raw)
+        header = object.__new__(cls)
+        header.__dict__.update(
+            syndrome=word >> 24, msn=word & 0x00FFFFFF, _packed=raw
+        )
+        return header
 
     @property
     def byte_len(self) -> int:
@@ -259,7 +302,7 @@ class AethHeader:
 
 
 @dataclass
-class AtomicAckEthHeader:
+class AtomicAckEthHeader(CachedPackMixin):
     """Atomic ACK ETH (8 bytes): the value read before the atomic applied."""
 
     original_data: int
@@ -272,23 +315,31 @@ class AtomicAckEthHeader:
                 f"AtomicAckETH data out of range: {self.original_data}"
             )
 
-    def pack(self) -> bytes:
-        return struct.pack("!Q", self.original_data)
+    def _pack(self) -> bytes:
+        return _U64_STRUCT.pack(self.original_data)
 
     @classmethod
     def unpack(cls, data: bytes) -> "AtomicAckEthHeader":
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short AtomicAckETH: {len(data)} bytes")
-        (value,) = struct.unpack("!Q", data[: cls.LENGTH])
-        return cls(original_data=value)
+        raw = data[: cls.LENGTH]
+        (value,) = _U64_STRUCT.unpack(raw)
+        header = object.__new__(cls)
+        header.__dict__.update(original_data=value, _packed=raw)
+        return header
 
     @property
     def byte_len(self) -> int:
         return self.LENGTH
 
 
+#: Memoized ICRC values by input bytes (bounded): retransmissions, mirrors,
+#: and loopback verification all CRC identical byte strings.
+_icrc_cache: Dict[bytes, int] = {}
+
+
 @dataclass
-class IcrcTrailer:
+class IcrcTrailer(CachedPackMixin):
     """Invariant CRC (4 bytes), appended after the RoCE payload.
 
     We compute a CRC32 over the packed RoCE headers and payload.  This is a
@@ -300,20 +351,29 @@ class IcrcTrailer:
 
     LENGTH = 4
 
-    def pack(self) -> bytes:
-        return struct.pack("!I", self.value & 0xFFFFFFFF)
+    def _pack(self) -> bytes:
+        return _U32_STRUCT.pack(self.value & 0xFFFFFFFF)
 
     @classmethod
     def unpack(cls, data: bytes) -> "IcrcTrailer":
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short ICRC: {len(data)} bytes")
-        (value,) = struct.unpack("!I", data[: cls.LENGTH])
-        return cls(value=value)
+        raw = data[: cls.LENGTH]
+        (value,) = _U32_STRUCT.unpack(raw)
+        trailer = object.__new__(cls)
+        trailer.__dict__.update(value=value, _packed=raw)
+        return trailer
 
     @classmethod
     def compute(cls, roce_bytes: bytes) -> "IcrcTrailer":
         """Compute the trailer over already-packed BTH..payload bytes."""
-        return cls(value=zlib.crc32(roce_bytes) & 0xFFFFFFFF)
+        value = _icrc_cache.get(roce_bytes)
+        if value is None:
+            value = zlib.crc32(roce_bytes) & 0xFFFFFFFF
+            if len(_icrc_cache) >= 4096:
+                _icrc_cache.clear()
+            _icrc_cache[roce_bytes] = value
+        return cls(value=value)
 
     @property
     def byte_len(self) -> int:
@@ -336,13 +396,16 @@ _EXTENSIONS_BY_OPCODE = {
     Opcode.ATOMIC_ACKNOWLEDGE: (AethHeader, AtomicAckEthHeader),
 }
 
+#: Same table keyed by the raw opcode int — saves an Opcode() construction
+#: plus try/except per parsed packet on the hot path.
+_EXTENSIONS_BY_RAW_OPCODE: Dict[int, Tuple[type, ...]] = {
+    int(op): exts for op, exts in _EXTENSIONS_BY_OPCODE.items()
+}
+
 
 def roce_headers_for(opcode: int) -> Tuple[type, ...]:
     """Return the extension-header types that follow the BTH for *opcode*."""
-    try:
-        return _EXTENSIONS_BY_OPCODE[Opcode(opcode)]
-    except (ValueError, KeyError):
-        return ()
+    return _EXTENSIONS_BY_RAW_OPCODE.get(opcode, ())
 
 
 def parse_roce(data: bytes) -> Tuple[List[object], bytes, Optional[IcrcTrailer]]:
@@ -355,7 +418,7 @@ def parse_roce(data: bytes) -> Tuple[List[object], bytes, Optional[IcrcTrailer]]
     bth = BthHeader.unpack(data)
     headers: List[object] = [bth]
     offset = BthHeader.LENGTH
-    for ext_type in roce_headers_for(bth.opcode):
+    for ext_type in _EXTENSIONS_BY_RAW_OPCODE.get(bth.opcode, ()):
         headers.append(ext_type.unpack(data[offset:]))
         offset += ext_type.LENGTH
     if len(data) < offset + IcrcTrailer.LENGTH:

@@ -1,11 +1,30 @@
 """The discrete-event simulator driving every experiment in this library.
 
-The simulator is a classic calendar loop: a binary heap of
-:class:`~repro.sim.events.Event` objects, a monotonically advancing clock in
-nanoseconds, and ``run`` variants that drain the heap up to a deadline or an
-event budget.  All network elements (links, switches, RNICs, hosts) interact
-only through scheduled events, so a simulation is fully reproducible given
-its seed.
+The simulator is a classic calendar loop: a binary heap of scheduled
+callbacks, a monotonically advancing clock in nanoseconds, and ``run``
+variants that drain the heap up to a deadline or an event budget.  All
+network elements (links, switches, RNICs, hosts) interact only through
+scheduled events, so a simulation is fully reproducible given its seed.
+
+Fast-path notes — this loop is the hottest code in the repository (every
+simulated packet costs several events):
+
+* Heap entries are the :class:`~repro.sim.events.Event` objects
+  themselves, slot-light ``list`` subclasses laid out as
+  ``[time, seq, callback, args]``.  ``heapq`` compares them with C list
+  comparison (time, then the unique sequence number) instead of a Python
+  ``__lt__`` per sift step, and scheduling allocates one object.
+* ``run()`` drains the heap inline — no per-event ``step()`` call — with
+  the heap and ``heappop`` hoisted into locals, a dedicated tightest loop
+  for the common "no deadline, no budget" case, and a no-unpack call for
+  argument-less callbacks.
+* Cancellation nulls the event's callback slot in place (see
+  :meth:`Event.cancel`); cancelled entries are skipped and purged when
+  they surface at the top of the heap — including at a ``run(until_ns=…)``
+  deadline boundary, where they are purged rather than left pending.
+  :attr:`active_events` counts only live callbacks, so cancelled events
+  never inflate it; the count is computed on demand (a cold-path scan)
+  to keep scheduling and dispatch free of bookkeeping.
 """
 
 from __future__ import annotations
@@ -13,11 +32,24 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
-from .events import Event
+from .events import ARGS, CALLBACK, TIME, Event
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulator (e.g. scheduling in the past)."""
+
+
+#: Process-wide total of events fired across all Simulator instances,
+#: sampled by the profiling harness (events/sec without per-event hooks).
+_events_fired_total = 0
+
+
+def total_events_fired() -> int:
+    """Events fired by every simulator in this process since import."""
+    return _events_fired_total
 
 
 class Simulator:
@@ -29,6 +61,8 @@ class Simulator:
         sim.schedule(100.0, print, "hello at t=100ns")
         sim.run()
     """
+
+    __slots__ = ("_heap", "_now", "_seq", "_events_processed", "_running")
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
@@ -46,13 +80,31 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Number of events fired so far (cancelled events excluded)."""
+        """Number of events fired so far (cancelled events excluded).
+
+        Updated when :meth:`run`/:meth:`step` return, not per event.
+        """
         return self._events_processed
 
     @property
+    def active_events(self) -> int:
+        """Number of scheduled events that are neither fired nor cancelled.
+
+        Cancelled entries stay in the heap until their time comes (lazy
+        deletion) but are excluded here, so this is the true amount of
+        outstanding work.  Computed by scanning the heap: introspection is
+        the cold path; scheduling and dispatch pay for no bookkeeping.
+        """
+        return sum(1 for event in self._heap if event[CALLBACK] is not None)
+
+    @property
     def pending_events(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
-        return len(self._heap)
+        """Alias for :attr:`active_events`.
+
+        Historical note: this used to report the raw heap length,
+        *including* lazily-deleted cancelled events; it now excludes them.
+        """
+        return self.active_events
 
     # -- scheduling ------------------------------------------------------------
 
@@ -69,7 +121,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (delay={delay_ns}ns)"
             )
-        return self.schedule_at(self._now + delay_ns, callback, *args)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event((self._now + delay_ns, seq, callback, args))
+        _heappush(self._heap, event)
+        return event
 
     def schedule_at(
         self, time_ns: float, callback: Callable[..., Any], *args: Any
@@ -79,9 +135,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time_ns}ns, now is t={self._now}ns"
             )
-        event = Event(time_ns, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event((time_ns, seq, callback, args))
+        _heappush(self._heap, event)
         return event
 
     # -- execution -------------------------------------------------------------
@@ -92,13 +149,17 @@ class Simulator:
         Returns ``True`` if an event fired, ``False`` if the heap is empty.
         Cancelled events are skipped silently.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        global _events_fired_total
+        heap = self._heap
+        while heap:
+            event = _heappop(heap)
+            callback = event[CALLBACK]
+            if callback is None:
                 continue
-            self._now = event.time
+            self._now = event[TIME]
             self._events_processed += 1
-            event.callback(*event.args)
+            _events_fired_total += 1
+            callback(*event[ARGS])
             return True
         return False
 
@@ -111,27 +172,60 @@ class Simulator:
 
         :param until_ns: absolute stop time; events scheduled strictly after
             it remain pending and the clock is advanced to ``until_ns``.
+            Cancelled events surfacing at the deadline boundary are purged,
+            never left pending.
         :param max_events: stop after firing this many events (a safety
             valve for runaway feedback loops in experiments).
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
+        global _events_fired_total
         self._running = True
+        heap = self._heap
+        heappop = _heappop
         fired = 0
         try:
-            while self._heap:
-                if max_events is not None and fired >= max_events:
-                    break
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until_ns is not None and head.time > until_ns:
-                    break
-                if self.step():
+            if until_ns is None and max_events is None:
+                # Tightest drain loop: pop unconditionally (IndexError is
+                # the empty-heap exit), no peeking, no deadline checks.
+                # Event layout indices are inlined: 0=TIME 2=CALLBACK 3=ARGS.
+                # The except guards only the pop, so a callback raising
+                # IndexError still propagates.
+                while True:
+                    try:
+                        event = heappop(heap)
+                    except IndexError:
+                        break
+                    callback = event[2]
+                    if callback is None:
+                        continue
+                    self._now = event[0]
                     fired += 1
+                    args = event[3]
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
+            else:
+                while heap:
+                    head = heap[0]
+                    if head[2] is None:
+                        # Purge lazily-deleted entries wherever they
+                        # surface, including at/beyond the deadline.
+                        heappop(heap)
+                        continue
+                    if until_ns is not None and head[0] > until_ns:
+                        break
+                    if max_events is not None and fired >= max_events:
+                        break
+                    heappop(heap)
+                    self._now = head[0]
+                    fired += 1
+                    head[2](*head[3])
         finally:
             self._running = False
+            self._events_processed += fired
+            _events_fired_total += fired
         if until_ns is not None and self._now < until_ns:
             self._now = until_ns
 
@@ -141,6 +235,6 @@ class Simulator:
 
     def __repr__(self) -> str:
         return (
-            f"<Simulator t={self._now:.1f}ns pending={len(self._heap)} "
+            f"<Simulator t={self._now:.1f}ns pending={self.active_events} "
             f"fired={self._events_processed}>"
         )

@@ -1,0 +1,202 @@
+"""Pack-cache correctness for the header codecs.
+
+Every header caches its serialized bytes (see
+:class:`repro.net.headers.CachedPackMixin`).  These tests pin the contract
+that makes the cache safe to rely on everywhere:
+
+* ``pack()`` after any field mutation reflects the new value — the cache
+  is invalidated by assignment, including assignment on a header that was
+  built by ``unpack()`` (whose cache is pre-seeded with the wire bytes);
+* re-assigning the *same* value keeps the cached bytes valid;
+* ``pack``/``unpack`` round-trips stay exact under both regimes.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.headers import EthernetHeader, Ipv4Header, UdpHeader
+from repro.rdma.headers import (
+    AethHeader,
+    AtomicAckEthHeader,
+    AtomicEthHeader,
+    BthHeader,
+    IcrcTrailer,
+    RethHeader,
+)
+
+macs = st.integers(min_value=0, max_value=(1 << 48) - 1).map(MacAddress)
+ips = st.integers(min_value=0, max_value=(1 << 32) - 1).map(Ipv4Address)
+
+
+class TestCacheInvalidation:
+    def test_mutate_after_pack_repacks(self):
+        ip = Ipv4Header(src=Ipv4Address("10.0.0.1"), dst=Ipv4Address("10.0.0.2"))
+        before = ip.pack()
+        ip.ttl = 7
+        after = ip.pack()
+        assert after != before
+        assert Ipv4Header.unpack(after).ttl == 7
+
+    def test_same_value_assignment_keeps_cache(self):
+        ip = Ipv4Header(src=Ipv4Address("10.0.0.1"), dst=Ipv4Address("10.0.0.2"))
+        first = ip.pack()
+        ip.ttl = ip.ttl  # a no-op rewrite, e.g. fixup_lengths re-stamping
+        assert ip.pack() is first
+
+    def test_repeated_pack_is_cached(self):
+        bth = BthHeader(opcode=0x0A, dest_qp=5, psn=9)
+        assert bth.pack() is bth.pack()
+
+    def test_mutate_after_unpack_repacks(self):
+        raw = BthHeader(opcode=0x0A, dest_qp=5, psn=9).pack()
+        bth = BthHeader.unpack(raw)
+        assert bth.pack() == raw  # pre-seeded from the wire bytes
+        bth.psn = 10
+        assert bth.pack() != raw
+        assert BthHeader.unpack(bth.pack()).psn == 10
+
+    def test_every_ipv4_field_invalidates(self):
+        mutations = {
+            "ttl": 9,
+            "protocol": 6,
+            "total_length": 99,
+            "dscp": 11,
+            "ecn": 1,
+            "identification": 0x1234,
+            "flags": 0,
+            "fragment_offset": 100,
+            "src": Ipv4Address("192.168.0.1"),
+            "dst": Ipv4Address("192.168.0.2"),
+        }
+        for field, value in mutations.items():
+            ip = Ipv4Header(
+                src=Ipv4Address("10.0.0.1"), dst=Ipv4Address("10.0.0.2")
+            )
+            before = ip.pack()
+            setattr(ip, field, value)
+            after = ip.pack()
+            assert after != before, f"mutating {field} did not invalidate"
+            assert getattr(Ipv4Header.unpack(after), field) == value
+
+    def test_checksum_tracks_mutation(self):
+        ip = Ipv4Header(src=Ipv4Address("10.0.0.1"), dst=Ipv4Address("10.0.0.2"))
+        ip.pack()
+        ip.identification = 0xBEEF
+        # unpack verifies the checksum, so a stale checksum would raise.
+        assert Ipv4Header.unpack(ip.pack()).identification == 0xBEEF
+
+    def test_udp_length_stamp(self):
+        udp = UdpHeader(src_port=1, dst_port=2)
+        udp.pack()
+        udp.length = 42
+        assert UdpHeader.unpack(udp.pack()).length == 42
+
+    def test_icrc_compute_memoized_and_correct(self):
+        import zlib
+
+        payload = b"payload" * 11
+        a = IcrcTrailer.compute(payload)
+        b = IcrcTrailer.compute(payload)
+        assert a.value == b.value == zlib.crc32(payload) & 0xFFFFFFFF
+        assert IcrcTrailer.compute(payload + b"x").value != a.value
+
+
+class TestRoundTripProperties:
+    @given(dst=macs, src=macs, ethertype=st.integers(0, 0xFFFF))
+    def test_ethernet(self, dst, src, ethertype):
+        eth = EthernetHeader(dst=dst, src=src, ethertype=ethertype)
+        again = EthernetHeader.unpack(eth.pack())
+        assert again == eth
+        assert again.pack() == eth.pack()
+
+    @given(
+        src=ips,
+        dst=ips,
+        ttl=st.integers(0, 255),
+        total_length=st.integers(20, 0xFFFF),
+        identification=st.integers(0, 0xFFFF),
+        dscp=st.integers(0, 0x3F),
+        ecn=st.integers(0, 3),
+    )
+    def test_ipv4(self, src, dst, ttl, total_length, identification, dscp, ecn):
+        ip = Ipv4Header(
+            src=src,
+            dst=dst,
+            ttl=ttl,
+            total_length=total_length,
+            identification=identification,
+            dscp=dscp,
+            ecn=ecn,
+        )
+        again = Ipv4Header.unpack(ip.pack())
+        assert again == ip
+        assert again.pack() == ip.pack()
+
+    @given(
+        src_port=st.integers(0, 0xFFFF),
+        dst_port=st.integers(0, 0xFFFF),
+        length=st.integers(0, 0xFFFF),
+    )
+    def test_udp(self, src_port, dst_port, length):
+        udp = UdpHeader(src_port=src_port, dst_port=dst_port, length=length)
+        assert UdpHeader.unpack(udp.pack()) == udp
+
+    @given(
+        opcode=st.integers(0, 0xFF),
+        dest_qp=st.integers(0, (1 << 24) - 1),
+        psn=st.integers(0, (1 << 24) - 1),
+        ack_request=st.booleans(),
+        pad_count=st.integers(0, 3),
+    )
+    def test_bth(self, opcode, dest_qp, psn, ack_request, pad_count):
+        bth = BthHeader(
+            opcode=opcode,
+            dest_qp=dest_qp,
+            psn=psn,
+            ack_request=ack_request,
+            pad_count=pad_count,
+        )
+        assert BthHeader.unpack(bth.pack()) == bth
+
+    @given(
+        va=st.integers(0, (1 << 64) - 1),
+        rkey=st.integers(0, (1 << 32) - 1),
+        dma_length=st.integers(0, (1 << 32) - 1),
+    )
+    def test_reth(self, va, rkey, dma_length):
+        reth = RethHeader(virtual_address=va, rkey=rkey, dma_length=dma_length)
+        assert RethHeader.unpack(reth.pack()) == reth
+
+    @given(
+        va=st.integers(0, (1 << 64) - 1),
+        rkey=st.integers(0, (1 << 32) - 1),
+        swap_add=st.integers(0, (1 << 64) - 1),
+        compare=st.integers(0, (1 << 64) - 1),
+    )
+    def test_atomic_eth(self, va, rkey, swap_add, compare):
+        ath = AtomicEthHeader(
+            virtual_address=va, rkey=rkey, swap_add=swap_add, compare=compare
+        )
+        assert AtomicEthHeader.unpack(ath.pack()) == ath
+
+    @given(syndrome=st.integers(0, 0xFF), msn=st.integers(0, (1 << 24) - 1))
+    def test_aeth(self, syndrome, msn):
+        aeth = AethHeader(syndrome=syndrome, msn=msn)
+        assert AethHeader.unpack(aeth.pack()) == aeth
+
+    @given(value=st.integers(0, (1 << 64) - 1))
+    def test_atomic_ack(self, value):
+        ack = AtomicAckEthHeader(original_data=value)
+        assert AtomicAckEthHeader.unpack(ack.pack()) == ack
+
+    @given(
+        psn=st.integers(0, (1 << 24) - 1),
+        new_psn=st.integers(0, (1 << 24) - 1),
+    )
+    def test_mutate_after_pack_round_trips(self, psn, new_psn):
+        """The invalidation property, for arbitrary values."""
+        bth = BthHeader(opcode=0x0A, dest_qp=1, psn=psn)
+        bth.pack()
+        bth.psn = new_psn
+        assert BthHeader.unpack(bth.pack()).psn == new_psn

@@ -2,14 +2,85 @@
 
 DESIGN.md lists deterministic event ordering as an invariant; these tests
 check it end to end, through the RDMA stack, primitives and workloads.
+The event-trace tests pin down the kernel-level guarantee directly (exact
+firing order, including FIFO tie-breaks and cancellations), so a fast-path
+regression in the simulator shows up here before it scrambles a figure.
 """
 
+import random
 from dataclasses import asdict
 
 from repro.experiments.baremetal import run_baremetal
 from repro.experiments.fig3b import run_fig3b_point
 from repro.experiments.incast import run_incast
 from repro.experiments.kv_cache import run_kv_cache
+from repro.sim.simulator import Simulator
+
+
+def _random_workload_trace(seed: int, n: int = 400):
+    """Drive a simulator with a seeded random event mix; return the trace."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    trace = []
+    cancellable = []
+
+    def fire(tag):
+        trace.append((sim.now, tag))
+        for _ in range(rng.randrange(3)):
+            delay = rng.choice([0.0, 1.0, 1.0, 2.5, 10.0])
+            child = sim.schedule(delay, fire, f"{tag}.{len(trace)}")
+            if rng.random() < 0.3:
+                cancellable.append(child)
+        if cancellable and rng.random() < 0.4:
+            cancellable.pop(rng.randrange(len(cancellable))).cancel()
+
+    for i in range(8):
+        sim.schedule(float(i % 3), fire, f"root{i}")
+    sim.run(max_events=n)
+    return trace, sim.now, sim.events_processed
+
+
+def test_event_trace_deterministic():
+    """Identical seeds produce byte-identical event traces."""
+    assert _random_workload_trace(7) == _random_workload_trace(7)
+    assert _random_workload_trace(8) == _random_workload_trace(8)
+
+
+def test_event_trace_fifo_at_equal_times():
+    """Events scheduled for the same instant fire in scheduling order."""
+    sim = Simulator()
+    order = []
+    for i in range(50):
+        sim.schedule(5.0, order.append, i)
+    sim.run()
+    assert order == list(range(50))
+
+
+def test_run_in_slices_matches_run_to_completion():
+    """Draining via deadlines slice by slice equals one uninterrupted run."""
+    full, full_now, full_count = _random_workload_trace(11, n=300)
+
+    rng = random.Random(11)
+    sim = Simulator()
+    trace = []
+    cancellable = []
+
+    def fire(tag):
+        trace.append((sim.now, tag))
+        for _ in range(rng.randrange(3)):
+            delay = rng.choice([0.0, 1.0, 1.0, 2.5, 10.0])
+            child = sim.schedule(delay, fire, f"{tag}.{len(trace)}")
+            if rng.random() < 0.3:
+                cancellable.append(child)
+        if cancellable and rng.random() < 0.4:
+            cancellable.pop(rng.randrange(len(cancellable))).cancel()
+
+    for i in range(8):
+        sim.schedule(float(i % 3), fire, f"root{i}")
+    while sim.active_events and len(trace) < 300:
+        sim.run(until_ns=sim.now + 1.0, max_events=300 - len(trace))
+    assert trace == full
+    assert sim.events_processed == full_count
 
 
 def test_fig3b_point_deterministic():

@@ -130,3 +130,86 @@ def test_reentrant_run_rejected(sim):
     sim.schedule(1.0, recurse)
     with pytest.raises(SimulationError):
         sim.run()
+
+
+def test_cancelled_events_excluded_from_pending(sim):
+    live = sim.schedule(5.0, lambda: None)
+    doomed = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+    assert sim.pending_events == 11
+    for event in doomed:
+        event.cancel()
+    # Lazily-deleted entries are still in the heap, but neither
+    # pending_events nor active_events counts them.
+    assert sim.pending_events == 1
+    assert sim.active_events == 1
+    live.cancel()
+    assert sim.active_events == 0
+
+
+def test_cancelled_head_purged_at_deadline(sim):
+    """A cancelled event sitting at the deadline boundary is purged, not
+    left pending forever."""
+    doomed = sim.schedule(10.0, lambda: None)
+    sim.schedule(20.0, lambda: None)
+    doomed.cancel()
+    sim.run(until_ns=15.0)
+    assert sim.now == 15.0
+    assert sim.pending_events == 1  # only the t=20 event remains
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_cancelled_event_beyond_deadline_not_counted(sim):
+    doomed = sim.schedule(30.0, lambda: None)
+    doomed.cancel()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until_ns=5.0)
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_fire_is_harmless(sim):
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert fired == ["x"]
+    event.cancel()  # late cancel of an already-fired event: no effect
+    assert sim.events_processed == 2
+
+
+def test_event_exposes_schedule_metadata(sim):
+    def callback():
+        pass
+
+    event = sim.schedule(3.0, callback)
+    assert event.time == 3.0
+    assert event.seq == 0
+    assert event.callback is callback
+    assert event.args == ()
+    assert not event.cancelled
+    event.cancel()
+    assert event.cancelled
+    assert "cancelled" in repr(event)
+
+
+def test_callback_index_error_propagates(sim):
+    """The drain loop's empty-heap detection must not swallow a callback's
+    own IndexError."""
+
+    def boom():
+        [].pop()
+
+    sim.schedule(1.0, boom)
+    with pytest.raises(IndexError):
+        sim.run()
+
+
+def test_run_with_budget_purges_cancelled_before_counting(sim):
+    out = []
+    for i in range(4):
+        sim.schedule(1.0 + i, out.append, i)
+    doomed = sim.schedule(0.5, out.append, "doomed")
+    doomed.cancel()
+    sim.run(max_events=2)
+    assert out == [0, 1]
+    assert sim.events_processed == 2
