@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scale-out: pool many memory servers behind one ToR switch.
+
+The single-server primitives hit a per-server ceiling long before the
+40 GbE link: a lookup miss costs two RoCE messages through the RNIC's
+~300 ns header pipeline, so one server absorbs ~1.67 M misses/s.  The
+cluster subsystem pools servers behind a consistent-hash ring and shards
+the primitives across them:
+
+1. build a pool of N memory servers (one RDMA channel set per member),
+2. shard the lookup table over the pool — aggregate miss throughput
+   scales with N at equal per-server region size,
+3. replicate the state store K=2 ways — kill a server mid-count and
+   verify that not a single counter update is lost.
+
+Run:  python examples/cluster_scaleout.py
+"""
+
+from repro.experiments.scaleout import (
+    format_failover,
+    format_scaleout,
+    run_failover_counters,
+    run_scaleout,
+    run_scaleout_point,
+)
+
+
+def main() -> None:
+    # -- 1+2. shard the lookup table over growing pools ------------------
+    # Every configuration runs at its own maximum lossless rate (the §5
+    # methodology); per-server region size is identical everywhere.
+    rows = run_scaleout(server_counts=(1, 2, 4), lookups_per_host=400)
+    print(format_scaleout(rows))
+    speedup = rows[-1].mlookups_per_sec / rows[0].mlookups_per_sec
+    print(f"\n4 servers sustain {speedup:.2f}x the single-server miss "
+          "throughput (zero losses in every row).")
+
+    # The ceiling is real: overdrive ONE server at the 4-server offered
+    # rate and it saturates at its RNIC message pipeline (~1.67 M/s).
+    saturated = run_scaleout_point(
+        1, lookups_per_host=400, offered_per_server_mlps=5.0
+    )
+    print(f"1 server driven at 5.00 M/s completes at "
+          f"{saturated.mlookups_per_sec:.2f} M/s — the RNIC pipeline "
+          "ceiling sharding is built to escape.")
+
+    # -- 3. kill a replica mid-count -------------------------------------
+    result = run_failover_counters(packets=1500, kill_at_ns=600_000.0)
+    print()
+    print(format_failover(result))
+
+    # -- the punchline ----------------------------------------------------
+    assert speedup >= 3.0, "sharded lookups must scale at least 3x at N=4"
+    assert result.lost_updates == 0, "replication must not lose updates"
+    assert result.all_counters_exact
+    print("\nno counter update lost; every per-flow count exact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,12 @@ from .experiments.persistent_congestion import (
     format_persistent_congestion,
     run_persistent_congestion_comparison,
 )
+from .experiments.scaleout import (
+    format_failover,
+    format_scaleout,
+    run_failover_counters,
+    run_scaleout,
+)
 from .experiments.sequencer import format_sequencer, run_sequencer_throughput
 from .experiments.telemetry import format_telemetry, run_telemetry
 
@@ -78,6 +84,35 @@ def _cmd_persistent(args: argparse.Namespace) -> str:
 
 def _cmd_sequencer(args: argparse.Namespace) -> str:
     return format_sequencer(run_sequencer_throughput(packets=args.packets))
+
+
+def _scaleout_counts(servers: int) -> List[int]:
+    """Pool sizes for the sweep: powers of two up to *servers*."""
+    counts = [1]
+    while counts[-1] * 2 <= servers:
+        counts.append(counts[-1] * 2)
+    if counts[-1] != servers:
+        counts.append(servers)
+    return counts
+
+
+def _cmd_scaleout(args: argparse.Namespace) -> str:
+    rows = run_scaleout(
+        server_counts=_scaleout_counts(args.servers),
+        lookups_per_host=args.lookups_per_host,
+    )
+    sections = [format_scaleout(rows)]
+    if args.servers >= 2:
+        sections.append(
+            format_failover(
+                run_failover_counters(
+                    packets=args.failover_packets,
+                    servers=max(3, min(args.servers, 4)),
+                    kill_at_ns=600_000.0,
+                )
+            )
+        )
+    return "\n\n".join(sections)
 
 
 def _cmd_kv_cache(args: argparse.Namespace) -> str:
@@ -206,6 +241,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--duration-ms", type=float, default=6.0)
     p.set_defaults(fn=_cmd_persistent)
+
+    p = sub.add_parser(
+        "scaleout",
+        help="cluster: shard lookups over N servers; kill a replica mid-count",
+    )
+    p.add_argument(
+        "--servers", type=int, default=4, help="pool size for the sweep"
+    )
+    p.add_argument("--lookups-per-host", type=int, default=1200)
+    p.add_argument("--failover-packets", type=int, default=4000)
+    p.set_defaults(fn=_cmd_scaleout)
 
     p = sub.add_parser("ablations", help="§7 design-choice ablations")
     p.add_argument(

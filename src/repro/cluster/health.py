@@ -1,0 +1,136 @@
+"""Per-member health tracking fed by channel health signals.
+
+Every :class:`~repro.core.rocegen.RoceRequestGenerator` emits the same
+event vocabulary — ``nak`` / ``strike`` / ``timeout`` / ``progress`` —
+regardless of which primitive drives it.  The monitor aggregates those
+events per pool member and turns *consecutive* stall evidence (strikes
+and timeouts with no progress in between) into an up/down verdict, the
+cluster-level generalization of the packet buffer's original private
+``failover_strikes`` counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..core.rocegen import RoceRequestGenerator
+
+#: Membership verdict callbacks receive the member name.
+MemberCallback = Callable[[str], None]
+
+
+@dataclass
+class MemberHealth:
+    """Aggregated health counters for one pool member."""
+
+    naks: int = 0
+    strikes: int = 0
+    timeouts: int = 0
+    progress: int = 0
+    #: Strikes/timeouts since the last progress event (the down trigger).
+    consecutive_stalls: int = 0
+    alive: bool = True
+    #: Channels reporting into this member (for snapshots).
+    watched: int = 0
+
+
+class HealthMonitor:
+    """Turns uniform channel health events into member up/down verdicts.
+
+    A member goes *down* after ``fail_after`` consecutive stall events
+    (strike or timeout) with no intervening progress from any of its
+    watched channels — the same hysteresis the §7 failover logic applies,
+    but shared by every primitive instead of private to one.  NAKs alone
+    never count: one loss event produces a NAK burst, and a channel that
+    resynchronizes and makes progress is healthy.
+    """
+
+    def __init__(self, fail_after: int = 3) -> None:
+        if fail_after < 1:
+            raise ValueError("fail_after must be >= 1")
+        self.fail_after = fail_after
+        self.members: Dict[str, MemberHealth] = {}
+        self.on_member_down: List[MemberCallback] = []
+        self.on_member_up: List[MemberCallback] = []
+
+    # -- wiring -------------------------------------------------------------------
+
+    def track(self, member: str) -> MemberHealth:
+        return self.members.setdefault(member, MemberHealth())
+
+    def watch(self, member: str, rocegen: RoceRequestGenerator) -> None:
+        """Subscribe to *rocegen*'s health events under *member*'s name.
+
+        Chains any listener already installed so several monitors (or a
+        test probe) can observe the same channel.
+        """
+        self.track(member).watched += 1
+        previous = rocegen.health_listener
+
+        def listen(gen: RoceRequestGenerator, event: str) -> None:
+            if previous is not None:
+                previous(gen, event)
+            self.record(member, event)
+
+        rocegen.health_listener = listen
+
+    # -- event intake --------------------------------------------------------------
+
+    def record(self, member: str, event: str) -> None:
+        health = self.track(member)
+        if event == "progress":
+            health.progress += 1
+            health.consecutive_stalls = 0
+            return
+        if event == "nak":
+            health.naks += 1
+            return
+        if event == "strike":
+            health.strikes += 1
+        elif event == "timeout":
+            health.timeouts += 1
+        else:
+            raise ValueError(f"unknown health event: {event!r}")
+        health.consecutive_stalls += 1
+        if health.alive and health.consecutive_stalls >= self.fail_after:
+            self.mark_down(member)
+
+    # -- verdicts -----------------------------------------------------------------
+
+    def is_alive(self, member: str) -> bool:
+        health = self.members.get(member)
+        return health.alive if health is not None else True
+
+    def mark_down(self, member: str) -> None:
+        health = self.track(member)
+        if not health.alive:
+            return
+        health.alive = False
+        for callback in list(self.on_member_down):
+            callback(member)
+
+    def mark_up(self, member: str) -> None:
+        """Re-admit a member (operator action after repair)."""
+        health = self.track(member)
+        if health.alive:
+            return
+        health.alive = True
+        health.consecutive_stalls = 0
+        for callback in list(self.on_member_up):
+            callback(member)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Per-member counters, for experiments and operator dashboards."""
+        return {
+            name: {
+                "alive": h.alive,
+                "naks": h.naks,
+                "strikes": h.strikes,
+                "timeouts": h.timeouts,
+                "progress": h.progress,
+                "consecutive_stalls": h.consecutive_stalls,
+                "watched_channels": h.watched,
+            }
+            for name, h in sorted(self.members.items())
+        }

@@ -145,8 +145,23 @@ class RdmaChannelController:
         return channel
 
     def close_channel(self, channel: RemoteMemoryChannel) -> None:
-        """Tear the channel down and deregister the memory region."""
-        channel.region.deregister()
-        channel.switch_qp.to_error()
-        channel.server_qp.to_error()
+        """Tear the channel down so the same server/port can be reused.
+
+        The full §3 sequence in reverse: both QPs go to ERROR, the
+        server-side QP is destroyed on its RNIC (fresh responder state on
+        reopen — ePSN, atomic replay cache), and the memory region is
+        deregistered and returned to the DRAM budget unless another open
+        channel still shares it.  A subsequent ``open_channel`` on the
+        same server/port gets a fresh QPN and rkey with no stale
+        switch-side or server-side state — the property live shard
+        migration depends on.
+        """
+        if channel not in self.channels:
+            raise ChannelError(f"channel {channel.name!r} is not open")
         self.channels.remove(channel)
+        channel.switch_qp.to_error()
+        channel.server.rnic.destroy_qp(channel.server_qp)
+        if not any(ch.region is channel.region for ch in self.channels):
+            channel.server.dram.release(channel.region)
+            if channel.region in channel.server.lent_regions:
+                channel.server.lent_regions.remove(channel.region)

@@ -334,6 +334,7 @@ class RemoteLookupTable:
         ):
             return  # echo of an already-handled loss event
         self._last_resync = (expected, now)
+        self.rocegen.record_strike()  # one loss event = one strike
         self.rocegen.maybe_resync(packet)
         while self._pending and psn_distance(
             expected, self._pending[-1]["read_psn"]

@@ -40,7 +40,16 @@ from __future__ import annotations
 import struct
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..net.headers import Ipv4Header
 from ..net.packet import Packet
@@ -53,6 +62,9 @@ from ..switches.switch import ProgrammableSwitch
 from ..switches.traffic_manager import HookVerdict, PortQueue
 from .channel import RemoteMemoryChannel
 from .rocegen import RoceRequestGenerator
+
+if TYPE_CHECKING:  # cluster imports core; break the cycle for typing
+    from ..cluster.pool import MemoryPool, PoolMember
 
 #: Register indices for the ring state.
 _WRITE_PTR, _READ_PTR, _NEXT_LOAD_PTR, _BUFFERING = range(4)
@@ -213,6 +225,16 @@ class RemotePacketBuffer:
         # recoveries per channel.
         self._channel_strikes = [0] * len(self.channels)
         self._failed_channels: set = set()
+        # Gracefully leaving channels: excluded from striping but still
+        # read until their unread entries drain (pool membership).
+        self._draining_channels: set = set()
+        # Pool mode (see from_pool): membership and health govern
+        # failover instead of the private failover_strikes counter.
+        self.pool: Optional["MemoryPool"] = None
+        self._member_channel: Dict[str, int] = {}
+        self._bytes_per_member = 0
+        self.drain_poll_ns = 10_000.0
+        self.drain_timeout_ns = 1_000_000.0
         # Entries whose WRITE request has left the switch (see _store).
         self._flushed: set = set()
         self._loading = False  # reentrancy guard for the load loop
@@ -221,6 +243,162 @@ class RemotePacketBuffer:
             raise RuntimeError("switch TM already has an egress hook")
         switch.tm.egress_hook = self._egress_hook
         switch.tm.dequeue_listeners.append(self._on_dequeue)
+
+    # -- pool mode (cluster subsystem) ---------------------------------------------
+
+    @classmethod
+    def from_pool(
+        cls,
+        switch: ProgrammableSwitch,
+        pool: "MemoryPool",
+        protected_port: int,
+        bytes_per_member: int,
+        config: Optional[PacketBufferConfig] = None,
+        separate_read_qps: bool = True,
+    ) -> "RemotePacketBuffer":
+        """Build a buffer striped over every alive pool member.
+
+        The pool takes over the roles the constructor wires statically:
+        members that join mid-run become stripe targets
+        (:meth:`add_channel`), members the health monitor declares dead
+        are failed over exactly as ``failover_strikes`` would, and
+        graceful leaves drain their unread entries before the channels
+        close.  ``bytes_per_member`` fixes an equal ring per server.
+        """
+        members = pool.alive_members
+        if not members:
+            raise ValueError("pool has no alive members")
+        channels: List[RemoteMemoryChannel] = []
+        read_channels: List[RemoteMemoryChannel] = []
+        for member in members:
+            channel = pool.open_channel(
+                member, bytes_per_member, name=f"pktbuf:{member.name}"
+            )
+            channels.append(channel)
+            if separate_read_qps:
+                read_channels.append(
+                    pool.open_channel(
+                        member,
+                        bytes_per_member,
+                        name=f"pktbuf-read:{member.name}",
+                        share_region_with=channel,
+                    )
+                )
+        buffer = cls(
+            switch,
+            channels,
+            protected_port,
+            config=config,
+            read_channels=read_channels if separate_read_qps else None,
+        )
+        buffer.pool = pool
+        buffer._bytes_per_member = bytes_per_member
+        buffer._member_channel = {
+            member.name: idx for idx, member in enumerate(members)
+        }
+        for member in members:
+            pool.watch(
+                member, buffer.read_rocegens[buffer._member_channel[member.name]]
+            )
+        pool.listeners.append(buffer)
+        return buffer
+
+    def add_channel(
+        self,
+        channel: RemoteMemoryChannel,
+        read_channel: Optional[RemoteMemoryChannel] = None,
+    ) -> int:
+        """Enroll another stripe target mid-run; returns its index.
+
+        The new ring must hold at least as many entries as the existing
+        ones (striping keeps slot geometry uniform across channels).
+        """
+        if channel.length // self.config.entry_bytes < self.entries_per_channel:
+            raise ValueError(
+                f"channel {channel.name!r} holds fewer than "
+                f"{self.entries_per_channel} entries"
+            )
+        separate = self.read_channels is not self.channels
+        if separate:
+            if read_channel is None:
+                raise ValueError(
+                    "buffer uses separate read QPs; pass read_channel"
+                )
+            if read_channel.rkey != channel.rkey:
+                raise ValueError(
+                    "read channel must share the write channel's region"
+                )
+        index = len(self.channels)
+        self.channels.append(channel)
+        self.rocegens.append(RoceRequestGenerator(self.switch, channel))
+        if separate:
+            self.read_channels.append(read_channel)
+            self.read_rocegens.append(
+                RoceRequestGenerator(self.switch, read_channel)
+            )
+        self._inflight.append(deque())
+        self._channel_slot_counter.append(0)
+        self._channel_unread.append(0)
+        self._channel_strikes.append(0)
+        self.capacity_entries = self.entries_per_channel * len(self.channels)
+        return index
+
+    def on_member_join(self, member: "PoolMember") -> None:
+        channel = self.pool.open_channel(
+            member, self._bytes_per_member, name=f"pktbuf:{member.name}"
+        )
+        read_channel = None
+        if self.read_channels is not self.channels:
+            read_channel = self.pool.open_channel(
+                member,
+                self._bytes_per_member,
+                name=f"pktbuf-read:{member.name}",
+                share_region_with=channel,
+            )
+        index = self.add_channel(channel, read_channel)
+        self._member_channel[member.name] = index
+        self.pool.watch(member, self.read_rocegens[index])
+
+    def on_member_leave(self, member: "PoolMember", graceful: bool) -> None:
+        index = self._member_channel.pop(member.name, None)
+        if index is None:
+            return
+        if not graceful:
+            self._abandon_channel(index)
+            return
+        # Stop striping to the leaver but keep reading its ring; hold its
+        # channels open until the unread entries drain out.
+        self._draining_channels.add(index)
+        self.pool.hold_for_drain(member)
+        self._drain_channel(
+            member, index, deadline=self.switch.sim.now + self.drain_timeout_ns
+        )
+
+    def _abandon_channel(self, index: int) -> None:
+        """Fail a channel outside the recovery path (member death)."""
+        if index in self._failed_channels:
+            return
+        self._outstanding_reads = max(
+            0, self._outstanding_reads - len(self._inflight[index])
+        )
+        self._fail_channel(index)
+        # Entries stranded on the dead channel resolve as clean losses as
+        # the read pointer sweeps them; kick the sweep now.
+        self._maybe_start_loading(self.switch.port_queue(self.protected_port))
+
+    def _drain_channel(
+        self, member: "PoolMember", index: int, deadline: float
+    ) -> None:
+        if self._channel_unread[index] == 0 and not self._inflight[index]:
+            self.pool.release_drain(member)
+            return
+        if self.switch.sim.now >= deadline:
+            self._abandon_channel(index)
+            self.pool.release_drain(member)
+            return
+        self.switch.sim.schedule(
+            self.drain_poll_ns, self._drain_channel, member, index, deadline
+        )
 
     # -- ring geometry -------------------------------------------------------------
 
@@ -234,9 +412,11 @@ class RemotePacketBuffer:
 
     @property
     def alive_channels(self) -> List[int]:
+        """Stripe targets: not failed, not draining out of the pool."""
         return [
             i for i in range(len(self.channels))
             if i not in self._failed_channels
+            and i not in self._draining_channels
         ]
 
     def _assign_channel(self) -> Optional[int]:
@@ -437,7 +617,17 @@ class RemotePacketBuffer:
         self._maybe_start_loading(self.switch.port_queue(self.protected_port))
 
     def _strike_channel(self, idx: int) -> None:
-        if self.config.failover_strikes is None or idx in self._failed_channels:
+        if idx in self._failed_channels:
+            return
+        # Surface the stall as the uniform channel health signal whether
+        # or not anything is watching (pool monitor, tests, dashboards).
+        self.read_rocegens[idx].record_strike()
+        if self.pool is not None:
+            # Pool mode: the health monitor turns strikes into a member
+            # down verdict and calls back into on_member_leave — the
+            # private counter below would double-judge the same evidence.
+            return
+        if self.config.failover_strikes is None:
             return
         self._channel_strikes[idx] += 1
         if self._channel_strikes[idx] >= self.config.failover_strikes:
@@ -447,6 +637,7 @@ class RemotePacketBuffer:
         """Declare channel *idx* dead: exclude it from striping; entries
         still waiting on it are abandoned as the reads reach them."""
         self._failed_channels.add(idx)
+        self._draining_channels.discard(idx)
         self._inflight[idx].clear()
         self.stats.channels_failed += 1
 

@@ -13,7 +13,7 @@ overhead from actual packet sizes rather than assumed constants.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..net.packet import Packet
 from ..rdma.constants import AethSyndrome, Opcode
@@ -27,6 +27,13 @@ from ..switches.switch import ProgrammableSwitch
 from .channel import RemoteMemoryChannel
 
 
+#: Health events a channel's request generator can emit: "nak" on every
+#: NAK response, "strike" when the owning primitive's recovery machinery
+#: implicates the channel in a stall, "timeout" when a watchdog fires for
+#: it, and "progress" on every non-NAK response.
+HealthListener = Callable[["RoceRequestGenerator", str], None]
+
+
 @dataclass
 class RoceGenStats:
     writes_issued: int = 0
@@ -36,6 +43,13 @@ class RoceGenStats:
     naks_received: int = 0
     request_wire_bytes: int = 0
     response_wire_bytes: int = 0
+    #: Stall events charged to this channel by its primitive's recovery
+    #: machinery (go-back-N restarts with this channel's reads in flight,
+    #: accepted loss-event resyncs, ...).
+    strikes: int = 0
+    #: Watchdog expiries charged to this channel (reliable-mode
+    #: retransmission timers, read-chain watchdogs, ...).
+    timeouts: int = 0
 
 
 class RoceRequestGenerator:
@@ -47,6 +61,40 @@ class RoceRequestGenerator:
         self.switch = switch
         self.channel = channel
         self.stats = RoceGenStats()
+        #: Optional subscriber to this channel's health events (the cluster
+        #: health monitor plugs in here); every primitive reports the same
+        #: signal vocabulary — nak / strike / timeout / progress.
+        self.health_listener: Optional[HealthListener] = None
+
+    # -- health signal ------------------------------------------------------------
+
+    def _emit_health(self, event: str) -> None:
+        if self.health_listener is not None:
+            self.health_listener(self, event)
+
+    def record_strike(self) -> None:
+        """The owning primitive implicated this channel in a stall."""
+        self.stats.strikes += 1
+        self._emit_health("strike")
+
+    def record_timeout(self) -> None:
+        """A watchdog expired waiting on this channel."""
+        self.stats.timeouts += 1
+        self._emit_health("timeout")
+
+    def health_snapshot(self) -> dict:
+        """Uniform per-channel health counters (what the monitor consumes)."""
+        return {
+            "requests": (
+                self.stats.writes_issued
+                + self.stats.reads_issued
+                + self.stats.fetch_adds_issued
+            ),
+            "responses": self.stats.responses_handled,
+            "naks": self.stats.naks_received,
+            "strikes": self.stats.strikes,
+            "timeouts": self.stats.timeouts,
+        }
 
     # -- request crafting ---------------------------------------------------------
 
@@ -141,6 +189,9 @@ class RoceRequestGenerator:
         aeth = packet.find(AethHeader)
         if aeth is not None and AethSyndrome.is_nak(aeth.syndrome):
             self.stats.naks_received += 1
+            self._emit_health("nak")
+        else:
+            self._emit_health("progress")
         return Opcode(bth.opcode)
 
     @staticmethod

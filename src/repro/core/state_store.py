@@ -114,6 +114,7 @@ class RemoteStateStore:
         self._inflight_ops: "OrderedDict[int, tuple]" = OrderedDict()
         self._retry_armed = False
         self._retry_snapshot: Optional[int] = None
+        self._closed = False
 
     # -- addressing ----------------------------------------------------------------
 
@@ -146,6 +147,8 @@ class RemoteStateStore:
         sketches in :mod:`repro.apps.sketch`) can drive arbitrary counter
         indices through the same pacing and accumulation machinery.
         """
+        if self._closed:
+            raise RuntimeError("state store is closed")
         if not 0 <= index < self.config.counters:
             raise IndexError(f"counter index {index} out of range")
         pending = self._accumulators.get(index, 0) + value
@@ -247,7 +250,7 @@ class RemoteStateStore:
         self._regs.write(_OUTSTANDING, len(self._inflight_ops))
 
     def _arm_retry(self) -> None:
-        if self._retry_armed:
+        if self._retry_armed or self._closed:
             return
         self._retry_armed = True
         self._retry_snapshot = next(iter(self._inflight_ops), None)
@@ -264,6 +267,11 @@ class RemoteStateStore:
         # The oldest operation saw no progress for a full window: its
         # request or response was lost.  Retransmit verbatim (same PSN);
         # the RNIC's replay cache makes this idempotent.
+        self.rocegen.record_timeout()
+        if self._closed or head not in self._inflight_ops:
+            # The timeout report tripped the health monitor, which closed
+            # this store reentrantly — nothing left to retransmit.
+            return
         index, value = self._inflight_ops[head]
         self.rocegen.fetch_add(
             self.counter_address(index), value % (1 << 64), psn=head
@@ -304,6 +312,18 @@ class RemoteStateStore:
         ):
             index, value = self._accumulators.popitem(last=False)
             self._issue(index, value)
+
+    def close(self) -> None:
+        """Stop driving the channel (its member failed or left the pool).
+
+        Abandons in-flight operations and local accumulators so the
+        reliable-mode watchdog stops retransmitting into a dead channel;
+        replication (the cluster layer) is what keeps the data safe.
+        """
+        self._closed = True
+        self._inflight_ops.clear()
+        self._accumulators.clear()
+        self._regs.write(_OUTSTANDING, 0)
 
     # -- introspection ------------------------------------------------------------------
 

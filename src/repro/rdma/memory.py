@@ -231,3 +231,13 @@ class Dram:
         if region is None or not region.valid:
             return None
         return region
+
+    def release(self, region: MemoryRegion) -> None:
+        """Deregister *region* and drop it from the registry entirely.
+
+        After release the rkey dangles (remote access NAKs) and the DRAM
+        budget is reusable, so a closed channel can be reopened with a
+        fresh region of the same size on the same server.
+        """
+        region.deregister()
+        self.regions.pop(region.rkey, None)

@@ -168,6 +168,21 @@ class Rnic:
         self._atomic_replay[qpn] = OrderedDict()
         return qp
 
+    def destroy_qp(self, qp: QueuePair) -> None:
+        """Tear down *qp*: no RNIC state survives (verbs ``ibv_destroy_qp``).
+
+        Late requests addressed to the destroyed QPN are dropped as
+        unknown-QP, exactly what channel close→reopen needs — a reopened
+        channel gets a fresh QPN and must never be answered from stale
+        responder state (ePSN, atomic replay cache, response floor).
+        """
+        if self.qps.get(qp.qpn) is not qp:
+            raise ValueError(f"{self.name}: QP {qp.qpn} is not mine")
+        qp.to_error()
+        del self.qps[qp.qpn]
+        self._atomic_replay.pop(qp.qpn, None)
+        self._resp_floor.pop(qp.qpn, None)
+
     # ----------------------------------------------------------- packet entry
 
     def handle_packet(self, packet: Packet) -> None:

@@ -15,6 +15,7 @@ CASES = [
     ("telemetry_sketches.py", ["--flows", "1500", "--packets", "1500"]),
     ("kv_cache_netcache.py", ["--keys", "800", "--queries", "500"]),
     ("reliable_counters.py", []),
+    ("cluster_scaleout.py", []),
     ("server_failure.py", []),
     ("sequencer_netchain.py", []),
     ("persistent_congestion_ecn.py", ["--duration-ms", "1.5"]),
