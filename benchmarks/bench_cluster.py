@@ -139,9 +139,25 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="reduced scales (CI smoke)"
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the run's metric registry to PATH (repro-metrics/v1 JSON)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record the RDMA wire timeline and write JSONL to PATH",
+    )
     args = parser.parse_args(argv)
 
-    records, rows, failover = collect_records(quick=args.quick)
+    from repro.obs import Observability, WireTrace
+
+    obs = Observability(trace=WireTrace() if args.trace else None)
+    with obs.activate():
+        records, rows, failover = collect_records(quick=args.quick)
     baseline = None
     if args.baseline and os.path.exists(args.baseline):
         baseline = load_report(args.baseline)
@@ -155,6 +171,14 @@ def main(argv=None) -> int:
     print(f"\n4-server speedup: {speedup:.2f}x "
           f"(lost updates on failover: {failover.lost_updates})")
     print(f"wrote {args.output}")
+    if args.metrics:
+        from repro.analysis.reporting import write_metrics_json
+
+        write_metrics_json(args.metrics, obs.registry, label=args.label)
+        print(f"wrote {args.metrics} ({len(obs.registry)} metrics)")
+    if args.trace:
+        obs.trace.write_jsonl(args.trace)
+        print(f"wrote {args.trace} ({len(obs.trace)} events)")
     return 0
 
 

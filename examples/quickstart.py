@@ -11,10 +11,13 @@ This is the paper's core idea in ~60 lines of library use:
 Run:  python examples/quickstart.py
 """
 
-from repro.apps.programs import StaticL2Program
-from repro.core.rocegen import RoceRequestGenerator
-from repro.experiments.topology import build_testbed
-from repro.sim.units import mib, to_usec
+from repro.api import (
+    RoceRequestGenerator,
+    StaticL2Program,
+    build_testbed,
+    mib,
+    to_usec,
+)
 
 
 class QuickstartProgram(StaticL2Program):

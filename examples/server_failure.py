@@ -11,15 +11,17 @@ losses, re-stripes onto the survivor, and keeps the system live.
 Run:  python examples/server_failure.py
 """
 
-from repro.apps.programs import RemoteBufferProgram
-from repro.core.packet_buffer import (
+from repro.api import (
     ENTRY_SEQ_BYTES,
     PacketBufferConfig,
+    RemoteBufferProgram,
     RemotePacketBuffer,
+    TrafficManagerConfig,
+    build_testbed,
+    kib,
+    to_msec,
+    usec,
 )
-from repro.experiments.topology import build_testbed
-from repro.sim.units import kib, to_msec, usec
-from repro.switches.traffic_manager import TrafficManagerConfig
 from repro.workloads.perftest import PacketSink, RawEthernetBw
 
 

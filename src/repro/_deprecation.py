@@ -1,0 +1,32 @@
+"""Warn-once DeprecationWarning helpers for API-reconciliation shims.
+
+The repo's CI runs in-repo callers with ``-W error::DeprecationWarning``,
+so anything still on a deprecated form fails loudly there; external
+callers get exactly one warning per distinct message per process instead
+of one per packet.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_warned: Set[str] = set()
+
+
+def warn_once(message: str) -> None:
+    """Issue ``DeprecationWarning(message)`` once per process.
+
+    The dedup is manual (not ``warnings`` filter state) so test code that
+    resets warning filters still sees at most one emission — except via
+    :func:`reset`, which tests use to assert the warning fires at all.
+    """
+    if message in _warned:
+        return
+    _warned.add(message)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def reset() -> None:
+    """Forget what was warned (test hook)."""
+    _warned.clear()

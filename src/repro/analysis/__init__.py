@@ -6,18 +6,30 @@ from .monitors import (
     LinkBandwidthMonitor,
     QueueDepthSampler,
 )
-from .reporting import format_gbps, format_table, format_usec
+from .reporting import (
+    METRICS_SCHEMA,
+    format_gbps,
+    format_metrics,
+    format_table,
+    format_usec,
+    metrics_to_dict,
+    write_metrics_json,
+)
 from .stats import Summary, jain_fairness, percentile
 
 __all__ = [
     "DepthSample",
     "LatencyRecorder",
     "LinkBandwidthMonitor",
+    "METRICS_SCHEMA",
     "QueueDepthSampler",
     "Summary",
     "format_gbps",
+    "format_metrics",
     "format_table",
     "format_usec",
     "jain_fairness",
+    "metrics_to_dict",
     "percentile",
+    "write_metrics_json",
 ]

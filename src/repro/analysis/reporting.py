@@ -1,8 +1,15 @@
-"""Plain-text tables for benchmark output (the "rows the paper reports")."""
+"""Plain-text tables for benchmark output (the "rows the paper reports"),
+plus text/JSON renderers for the metric registry (``--metrics``)."""
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs.registry import Histogram, MetricRegistry
+
+#: Schema tag stamped on every metrics JSON dump.
+METRICS_SCHEMA = "repro-metrics/v1"
 
 
 def format_table(
@@ -22,6 +29,70 @@ def format_table(
     for row in cells:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def _metric_cell(metric: Any) -> str:
+    """One table cell per metric; histograms compress to their summary."""
+    if isinstance(metric, Histogram):
+        if not metric.count:
+            return "n=0"
+        return (
+            f"n={metric.count} mean={metric.mean:.1f} "
+            f"min={metric.min:.0f} max={metric.max:.0f} "
+            f"p99~{metric.percentile(0.99):.0f}"
+        )
+    value = metric.value
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_metrics(
+    registry: MetricRegistry, prefix: str = "", title: str = "Metrics"
+) -> str:
+    """Render a registry (optionally prefix-filtered) as an aligned table."""
+    rows = []
+    for name in registry.names():
+        if prefix and name != prefix and not name.startswith(prefix + "."):
+            continue
+        metric = registry.get(name)
+        rows.append([name, metric.kind, _metric_cell(metric)])
+    if not rows:
+        return f"{title}\n(no metrics under prefix {prefix!r})"
+    return format_table(["metric", "kind", "value"], rows, title=title)
+
+
+def metrics_to_dict(
+    registry: MetricRegistry,
+    prefix: str = "",
+    label: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The ``repro-metrics/v1`` JSON document for *registry*.
+
+    Deterministic for fixed-seed runs: metrics sort by name and nothing
+    samples wall-clock time, so two identical runs produce byte-identical
+    dumps.
+    """
+    doc: Dict[str, Any] = {
+        "schema": METRICS_SCHEMA,
+        "metrics": registry.to_dict(prefix),
+    }
+    if label is not None:
+        doc["label"] = label
+    return doc
+
+
+def write_metrics_json(
+    path: str,
+    registry: MetricRegistry,
+    prefix: str = "",
+    label: Optional[str] = None,
+) -> None:
+    """Dump *registry* to *path* as a ``repro-metrics/v1`` document."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics_to_dict(registry, prefix, label), fh, indent=2,
+                  sort_keys=True)
+        fh.write("\n")
 
 
 def format_gbps(rate_bps: float) -> str:

@@ -1,0 +1,183 @@
+"""The supported public surface of the library, in one import.
+
+Everything a program, example, or downstream experiment needs rides this
+facade::
+
+    from repro.api import (
+        build_testbed, LookupTableConfig, RemoteLookupTable, Observability,
+    )
+
+    tb = build_testbed(n_hosts=2)
+    channel = tb.controller.open_channel(tb.memory_server, tb.server_port, ...)
+    table = RemoteLookupTable(tb.switch, channel, LookupTableConfig(...))
+    tb.sim.run()
+    print(tb.sim.obs.registry.snapshot("lookup"))
+
+Deep imports (``repro.core.lookup_table`` etc.) keep working, but only
+the names exported here are treated as stable API; internals may move
+between modules without notice (the testbed builder already did — see
+:mod:`repro.experiments.topology`).
+
+This module deliberately imports no experiment harness, so
+``import repro.api`` stays cheap and cycle-free (harnesses themselves
+import it).
+"""
+
+from __future__ import annotations
+
+# -- simulation kernel and testbed -----------------------------------------
+from .sim.simulator import Simulator
+from .sim.units import (
+    gbps,
+    gib,
+    kib,
+    mib,
+    msec,
+    nsec,
+    to_msec,
+    to_usec,
+    usec,
+)
+from .testbed import (
+    DEFAULT_LINK_RATE,
+    DEFAULT_PROPAGATION_NS,
+    Testbed,
+    build_testbed,
+)
+
+# -- switch and control plane ----------------------------------------------
+from .switches.switch import ProgrammableSwitch, SwitchConfig
+from .switches.traffic_manager import TrafficManagerConfig
+from .core.channel import (
+    ChannelError,
+    RdmaChannelController,
+    RemoteMemoryChannel,
+)
+
+# -- the three primitives (§4) ---------------------------------------------
+from .core.lookup_table import (
+    ACTION_DROP,
+    ACTION_NOP,
+    ACTION_SET_DSCP,
+    ACTION_SET_DST_IP,
+    ACTION_SET_EGRESS,
+    LookupTableConfig,
+    LookupTableStats,
+    RemoteAction,
+    RemoteLookupTable,
+)
+from .switches.hashing import FiveTuple
+from .core.packet_buffer import (
+    ENTRY_SEQ_BYTES,
+    PacketBufferConfig,
+    PacketBufferStats,
+    RemotePacketBuffer,
+)
+from .core.state_store import (
+    RemoteStateStore,
+    StateStoreConfig,
+    StateStoreStats,
+)
+from .core.rocegen import RoceRequestGenerator
+
+# -- switch programs --------------------------------------------------------
+from .apps.programs import (
+    CountingProgram,
+    RemoteBufferProgram,
+    RemoteLookupProgram,
+    StaticL2Program,
+)
+from .switches.pipeline import PipelineContext, SwitchProgram
+
+# -- servers and NICs -------------------------------------------------------
+from .hosts.server import Host, MemoryServer
+from .rdma.rnic import Rnic, RnicConfig
+
+# -- cluster scale-out ------------------------------------------------------
+from .cluster.pool import MemoryPool, PoolMember
+from .cluster.health import HealthMonitor
+from .cluster.sharded_lookup import ShardedLookupTable
+from .cluster.replicated_store import ReplicatedStateStore
+
+# -- observability ----------------------------------------------------------
+from .obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    MetricScope,
+    Observability,
+    TraceEvent,
+    WireTrace,
+)
+
+__all__ = [
+    # simulation + testbed
+    "Simulator",
+    "Testbed",
+    "build_testbed",
+    "DEFAULT_LINK_RATE",
+    "DEFAULT_PROPAGATION_NS",
+    "gbps",
+    "gib",
+    "kib",
+    "mib",
+    "msec",
+    "nsec",
+    "to_msec",
+    "to_usec",
+    "usec",
+    # switch + control plane
+    "ProgrammableSwitch",
+    "SwitchConfig",
+    "TrafficManagerConfig",
+    "ChannelError",
+    "RdmaChannelController",
+    "RemoteMemoryChannel",
+    # primitives
+    "ACTION_DROP",
+    "ACTION_NOP",
+    "ACTION_SET_DSCP",
+    "ACTION_SET_DST_IP",
+    "ACTION_SET_EGRESS",
+    "FiveTuple",
+    "LookupTableConfig",
+    "LookupTableStats",
+    "RemoteAction",
+    "RemoteLookupTable",
+    "ENTRY_SEQ_BYTES",
+    "PacketBufferConfig",
+    "PacketBufferStats",
+    "RemotePacketBuffer",
+    "StateStoreConfig",
+    "StateStoreStats",
+    "RemoteStateStore",
+    "RoceRequestGenerator",
+    # switch programs
+    "CountingProgram",
+    "PipelineContext",
+    "RemoteBufferProgram",
+    "RemoteLookupProgram",
+    "StaticL2Program",
+    "SwitchProgram",
+    # hosts + NICs
+    "Host",
+    "MemoryServer",
+    "Rnic",
+    "RnicConfig",
+    # cluster
+    "MemoryPool",
+    "PoolMember",
+    "HealthMonitor",
+    "ShardedLookupTable",
+    "ReplicatedStateStore",
+    # observability
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "MetricScope",
+    "Observability",
+    "TraceEvent",
+    "WireTrace",
+]

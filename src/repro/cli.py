@@ -38,6 +38,7 @@ from .experiments.scaleout import (
 )
 from .experiments.sequencer import format_sequencer, run_sequencer_throughput
 from .experiments.telemetry import format_telemetry, run_telemetry
+from .obs import Observability, WireTrace
 
 
 def _cmd_fig3a(args: argparse.Namespace) -> str:
@@ -194,6 +195,24 @@ def build_parser() -> argparse.ArgumentParser:
             "times) and write a JSON perf record to PATH"
         ),
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help=(
+            "collect every simulation's metric registry into one session "
+            "registry and write it to PATH as repro-metrics/v1 JSON"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record the RDMA wire timeline (per-QP WRITE/READ/ATOMIC/ACK/"
+            "NAK events with PSNs) and write JSONL to PATH"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("fig3a", help="latency overhead of the lookup primitive")
@@ -271,27 +290,53 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: List[str] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.profile:
-        from .analysis.profiling import Profiler, make_report, write_report
 
-        # Fail before the (possibly long) run, not after it.
-        profile_dir = os.path.dirname(os.path.abspath(args.profile))
-        if not os.path.isdir(profile_dir):
-            parser.error(f"--profile: directory does not exist: {profile_dir}")
+    # Fail before the (possibly long) run, not after it.
+    for flag in ("profile", "metrics", "trace"):
+        path = getattr(args, flag)
+        if path:
+            out_dir = os.path.dirname(os.path.abspath(path))
+            if not os.path.isdir(out_dir):
+                parser.error(f"--{flag}: directory does not exist: {out_dir}")
 
-        with Profiler(args.command) as prof:
+    # One session-wide observability handle: every Simulator the harness
+    # builds inside the block emits into the same registry (and trace).
+    obs = Observability(trace=WireTrace() if args.trace else None)
+    with obs.activate():
+        if args.profile:
+            from .analysis.profiling import Profiler, make_report, write_report
+
+            with Profiler(args.command) as prof:
+                print(args.fn(args))
+            record = prof.record
+            assert record is not None
+            write_report(
+                args.profile, make_report(args.command, {args.command: record})
+            )
+            print(
+                f"[profile] {record.wall_s:.3f}s wall, "
+                f"{record.events_per_sec:,.0f} events/s, "
+                f"{record.packets_per_sec:,.0f} packets/s -> {args.profile}",
+                file=sys.stderr,
+            )
+        else:
             print(args.fn(args))
-        record = prof.record
-        assert record is not None
-        write_report(args.profile, make_report(args.command, {args.command: record}))
+
+    if args.metrics:
+        from .analysis.reporting import write_metrics_json
+
+        write_metrics_json(args.metrics, obs.registry, label=args.command)
         print(
-            f"[profile] {record.wall_s:.3f}s wall, "
-            f"{record.events_per_sec:,.0f} events/s, "
-            f"{record.packets_per_sec:,.0f} packets/s -> {args.profile}",
+            f"[metrics] {len(obs.registry)} metrics -> {args.metrics}",
             file=sys.stderr,
         )
-    else:
-        print(args.fn(args))
+    if args.trace:
+        obs.trace.write_jsonl(args.trace)
+        print(
+            f"[trace] {len(obs.trace)} events "
+            f"({obs.trace.dropped} dropped) -> {args.trace}",
+            file=sys.stderr,
+        )
     return 0
 
 

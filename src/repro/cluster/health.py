@@ -12,9 +12,10 @@ cluster-level generalization of the packet buffer's original private
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..core.rocegen import RoceRequestGenerator
+from ..obs.registry import MetricRegistry
 
 #: Membership verdict callbacks receive the member name.
 MemberCallback = Callable[[str], None]
@@ -46,18 +47,43 @@ class HealthMonitor:
     resynchronizes and makes progress is healthy.
     """
 
-    def __init__(self, fail_after: int = 3) -> None:
+    def __init__(
+        self, fail_after: int = 3, registry: Optional[MetricRegistry] = None
+    ) -> None:
         if fail_after < 1:
             raise ValueError("fail_after must be >= 1")
         self.fail_after = fail_after
         self.members: Dict[str, MemberHealth] = {}
         self.on_member_down: List[MemberCallback] = []
         self.on_member_up: List[MemberCallback] = []
+        # When given a registry (the pool passes the simulation's), every
+        # member's health surfaces under cluster.member[<name>].* — the
+        # event counters plus alive/consecutive_stalls sampled live.
+        self._registry = registry
+        self._member_counters: Dict[str, Dict[str, object]] = {}
 
     # -- wiring -------------------------------------------------------------------
 
     def track(self, member: str) -> MemberHealth:
-        return self.members.setdefault(member, MemberHealth())
+        health = self.members.get(member)
+        if health is None:
+            health = MemberHealth()
+            self.members[member] = health
+            if self._registry is not None:
+                scope = self._registry.unique_scope(
+                    f"cluster.member[{member}]"
+                )
+                self._member_counters[member] = {
+                    event: scope.counter(event)
+                    for event in ("nak", "strike", "timeout", "progress")
+                }
+                scope.gauge("alive", fn=lambda h=health: int(h.alive))
+                scope.gauge(
+                    "consecutive_stalls",
+                    fn=lambda h=health: h.consecutive_stalls,
+                )
+                scope.gauge("watched_channels", fn=lambda h=health: h.watched)
+        return health
 
     def watch(self, member: str, rocegen: RoceRequestGenerator) -> None:
         """Subscribe to *rocegen*'s health events under *member*'s name.
@@ -79,6 +105,9 @@ class HealthMonitor:
 
     def record(self, member: str, event: str) -> None:
         health = self.track(member)
+        counters = self._member_counters.get(member)
+        if counters is not None and event in counters:
+            counters[event].inc()
         if event == "progress":
             health.progress += 1
             health.consecutive_stalls = 0

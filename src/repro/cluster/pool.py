@@ -75,7 +75,10 @@ class MemoryPool:
     ) -> None:
         self.controller = controller
         self.ring = ConsistentHashRing(vnodes=vnodes, seed=seed)
-        self.health = HealthMonitor(fail_after=fail_after)
+        self.health = HealthMonitor(
+            fail_after=fail_after,
+            registry=controller.switch.sim.obs.registry,
+        )
         self.health.on_member_down.append(self._health_down)
         self.members: Dict[str, PoolMember] = {}
         self.listeners: List[PoolListener] = []

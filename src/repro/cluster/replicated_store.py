@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
+from .._deprecation import warn_once
 from ..core.state_store import (
     ATOMIC_OPERAND_BYTES,
     RemoteStateStore,
@@ -125,14 +126,25 @@ class ReplicatedStateStore:
 
     # -- program-facing surface (duck-types RemoteStateStore) ---------------------
 
-    def index_of(self, packet: Packet) -> int:
-        return FiveTuple.of(packet).hash() % self.config.counters
+    def key_of(self, packet: Packet) -> FiveTuple:
+        """The counter key for *packet* (its 5-tuple)."""
+        return FiveTuple.of(packet)
+
+    def index_of(self, flow: FiveTuple) -> int:
+        """Counter index for *flow*; ``index_of(packet)`` is deprecated."""
+        if isinstance(flow, Packet):
+            warn_once(
+                f"{type(self).__name__}.index_of(packet) is deprecated; "
+                "use index_of(key_of(packet))"
+            )
+            flow = self.key_of(flow)
+        return flow.hash() % self.config.counters
 
     def on_packet(self, ctx: PipelineContext, packet: Packet) -> None:
         if self.config.sample is not None and not self.config.sample(packet):
             return
         value = 1 if self.config.count_mode == "packets" else packet.buffer_len
-        self.update(self.index_of(packet), value)
+        self.update(self.key_of(packet).hash() % self.config.counters, value)
 
     def update(self, index: int, value: int) -> None:
         """Fan *value* out to every replica of counter *index*.

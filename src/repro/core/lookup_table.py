@@ -43,6 +43,7 @@ from ..net.headers import Ipv4Header
 from ..net.packet import Packet
 from ..rdma.constants import Opcode, psn_distance
 from ..rdma.headers import BthHeader
+from .._deprecation import warn_once
 from ..switches.hashing import FiveTuple, crc16
 from ..switches.pipeline import PipelineContext
 from ..switches.switch import ProgrammableSwitch
@@ -160,8 +161,21 @@ class RemoteLookupTable:
             if default_action is not None
             else RemoteAction(ACTION_NOP, 0)
         )
-        self.stats = LookupTableStats()
+        #: This table's scope in the simulation's metric registry
+        #: ("lookup", "lookup#2", ... — one per table, never aliased).
+        self.metrics = switch.sim.obs.registry.unique_scope("lookup")
+        self._m_local_hits = self.metrics.counter("local_hits")
+        self._m_remote_lookups = self.metrics.counter("remote_lookups")
+        self._m_remote_hits = self.metrics.counter("remote_hits")
+        self._m_remote_invalid = self.metrics.counter("remote_invalid")
+        self._m_fp_mismatches = self.metrics.counter("fingerprint_mismatches")
+        self._m_cache_inserts = self.metrics.counter("cache_inserts")
+        self._m_cache_evictions = self.metrics.counter("cache_evictions")
+        self._m_recirc_passes = self.metrics.counter("recirculation_passes")
+        self._m_lookups_lost = self.metrics.counter("lookups_lost")
+        self._m_latency = self.metrics.histogram("remote_latency_ns")
         self.rocegen = RoceRequestGenerator(switch, channel)
+        self.metrics.gauge("pending", fn=lambda: len(self._pending))
         self.cache: Optional[ExactMatchTable] = (
             ExactMatchTable("lookup.cache", self.config.cache_entries)
             if self.config.cache_entries > 0
@@ -185,9 +199,34 @@ class RemoteLookupTable:
         #: switch keys on the destination VIP alone).
         self.flow_of: Callable[[Packet], FiveTuple] = FiveTuple.of
 
+    @property
+    def stats(self) -> LookupTableStats:
+        """Legacy stats shim: a snapshot of this table's metrics."""
+        return LookupTableStats(
+            local_hits=self._m_local_hits.value,
+            remote_lookups=self._m_remote_lookups.value,
+            remote_hits=self._m_remote_hits.value,
+            remote_invalid=self._m_remote_invalid.value,
+            fingerprint_mismatches=self._m_fp_mismatches.value,
+            cache_inserts=self._m_cache_inserts.value,
+            cache_evictions=self._m_cache_evictions.value,
+            recirculation_passes=self._m_recirc_passes.value,
+            lookups_lost=self._m_lookups_lost.value,
+        )
+
     # -- control plane: populating the remote table ---------------------------------
 
+    def key_of(self, packet: Packet) -> FiveTuple:
+        """The table key for *packet* (``flow_of`` under the unified API)."""
+        return self.flow_of(packet)
+
     def index_of(self, flow: FiveTuple) -> int:
+        if isinstance(flow, Packet):
+            warn_once(
+                f"{type(self).__name__}.index_of(packet) is deprecated; "
+                "use index_of(key_of(packet))"
+            )
+            flow = self.key_of(flow)
         return flow.hash() % self.config.entries
 
     def entry_address(self, index: int) -> int:
@@ -218,7 +257,7 @@ class RemoteLookupTable:
         if self.cache is not None:
             cached = self.cache.lookup(flow)
             if cached is not None:
-                self.stats.local_hits += 1
+                self._m_local_hits.inc()
                 action = cached.params["remote_action"]
                 self._mutate(ctx, packet, action)
                 port = self.resolve_egress(packet, action)
@@ -233,7 +272,7 @@ class RemoteLookupTable:
     def _remote_lookup(
         self, ctx: PipelineContext, packet: Packet, flow: FiveTuple
     ) -> None:
-        self.stats.remote_lookups += 1
+        self._m_remote_lookups.inc()
         index = self.index_of(flow)
         address = self.entry_address(index)
         pending = {
@@ -281,22 +320,23 @@ class RemoteLookupTable:
         psn = packet.require(BthHeader).psn
         while self._pending and self._pending[0]["read_psn"] != psn:
             self._pending.popleft()
-            self.stats.lookups_lost += 1
+            self._m_lookups_lost.inc()
         if not self._pending:
             return True  # stale response from before a resync
         pending = self._pending.popleft()
+        self._m_latency.observe(self.switch.sim.now - pending["issued_at"])
         entry = packet.payload
         valid, action, stored_fp = RemoteAction.unpack(entry)
         flow: FiveTuple = pending["flow"]
         if not valid:
-            self.stats.remote_invalid += 1
+            self._m_remote_invalid.inc()
             action = self.default_action
         elif stored_fp != fingerprint_of(flow):
             # Another flow owns this index — do not apply its action.
-            self.stats.fingerprint_mismatches += 1
+            self._m_fp_mismatches.inc()
             action = self.default_action
         else:
-            self.stats.remote_hits += 1
+            self._m_remote_hits.inc()
             if self.cache is not None and self.config.cache_fill:
                 self._cache_fill(flow, action)
         if self.config.mode == "bounce":
@@ -307,7 +347,7 @@ class RemoteLookupTable:
             # Account the pipeline passes spent waiting in recirculation.
             waited = self.switch.sim.now - pending["issued_at"]
             passes = max(1, int(waited // self.switch.config.recirculation_latency_ns))
-            self.stats.recirculation_passes += passes
+            self._m_recirc_passes.inc(passes)
         self._mutate(ctx, original, action)
         port = self.resolve_egress(original, action)
         if port is not None and action.action_id != ACTION_DROP:
@@ -340,18 +380,18 @@ class RemoteLookupTable:
             expected, self._pending[-1]["read_psn"]
         ) < (1 << 23):
             self._pending.pop()
-            self.stats.lookups_lost += 1
+            self._m_lookups_lost.inc()
 
     def _cache_fill(self, flow: FiveTuple, action: RemoteAction) -> None:
         assert self.cache is not None
         if self.cache.is_full and not self.cache.contains(flow):
             self.cache.evict_oldest()
-            self.stats.cache_evictions += 1
+            self._m_cache_evictions.inc()
         try:
             self.cache.insert(
                 flow, ActionEntry("remote", {"remote_action": action})
             )
-            self.stats.cache_inserts += 1
+            self._m_cache_inserts.inc()
         except TableFullError:  # pragma: no cover - eviction above prevents it
             pass
 

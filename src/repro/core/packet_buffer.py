@@ -165,7 +165,25 @@ class RemotePacketBuffer:
         self.channels = list(channels)
         self.protected_port = protected_port
         self.config = config if config is not None else PacketBufferConfig()
-        self.stats = PacketBufferStats()
+        #: This buffer's scope in the simulation's metric registry
+        #: ("pktbuf[<port>]", suffixed on collision).
+        self.metrics = switch.sim.obs.registry.unique_scope(
+            f"pktbuf[{protected_port}]"
+        )
+        self._m_stored_packets = self.metrics.counter("stored_packets")
+        self._m_stored_bytes = self.metrics.counter("stored_bytes")
+        self._m_loaded_packets = self.metrics.counter("loaded_packets")
+        self._m_loaded_bytes = self.metrics.counter("loaded_bytes")
+        self._m_ring_full_drops = self.metrics.counter("ring_full_drops")
+        self._m_oversize_drops = self.metrics.counter("oversize_drops")
+        self._m_episodes = self.metrics.counter("buffering_episodes")
+        self._m_lost_in_transit = self.metrics.counter("lost_in_transit")
+        self._m_read_recoveries = self.metrics.counter("read_recoveries")
+        self._m_reorder_peak = self.metrics.gauge("reorder_peak")
+        self._m_channels_failed = self.metrics.counter("channels_failed")
+        self._m_lost_to_failover = self.metrics.counter("lost_to_failover")
+        self._m_ecn_marked = self.metrics.counter("ecn_marked")
+        self.metrics.gauge("stored_entries", fn=lambda: self.stored_entries)
         self.rocegens = [
             RoceRequestGenerator(switch, channel) for channel in self.channels
         ]
@@ -174,7 +192,11 @@ class RemotePacketBuffer:
             if len(read_channels) != len(self.channels):
                 raise ValueError("need one read channel per write channel")
             for write_ch, read_ch in zip(self.channels, read_channels):
-                if read_ch.rkey != write_ch.rkey:
+                if (
+                    read_ch.rkey != write_ch.rkey
+                    or read_ch.server is not write_ch.server
+                    or read_ch.base_address != write_ch.base_address
+                ):
                     raise ValueError(
                         "read channels must share their write channel's region"
                     )
@@ -243,6 +265,25 @@ class RemotePacketBuffer:
             raise RuntimeError("switch TM already has an egress hook")
         switch.tm.egress_hook = self._egress_hook
         switch.tm.dequeue_listeners.append(self._on_dequeue)
+
+    @property
+    def stats(self) -> PacketBufferStats:
+        """Legacy stats shim: a snapshot of this buffer's metrics."""
+        return PacketBufferStats(
+            stored_packets=self._m_stored_packets.value,
+            stored_bytes=self._m_stored_bytes.value,
+            loaded_packets=self._m_loaded_packets.value,
+            loaded_bytes=self._m_loaded_bytes.value,
+            ring_full_drops=self._m_ring_full_drops.value,
+            oversize_drops=self._m_oversize_drops.value,
+            buffering_episodes=self._m_episodes.value,
+            lost_in_transit=self._m_lost_in_transit.value,
+            read_recoveries=self._m_read_recoveries.value,
+            reorder_peak=self._m_reorder_peak.value,
+            channels_failed=self._m_channels_failed.value,
+            lost_to_failover=self._m_lost_to_failover.value,
+            ecn_marked=self._m_ecn_marked.value,
+        )
 
     # -- pool mode (cluster subsystem) ---------------------------------------------
 
@@ -324,7 +365,11 @@ class RemotePacketBuffer:
                 raise ValueError(
                     "buffer uses separate read QPs; pass read_channel"
                 )
-            if read_channel.rkey != channel.rkey:
+            if (
+                read_channel.rkey != channel.rkey
+                or read_channel.server is not channel.server
+                or read_channel.base_address != channel.base_address
+            ):
                 raise ValueError(
                     "read channel must share the write channel's region"
                 )
@@ -448,7 +493,7 @@ class RemotePacketBuffer:
                 return HookVerdict.PASS
             # Queue built past the watermark: enter buffering mode.
             self._regs.write(_BUFFERING, 1)
-            self.stats.buffering_episodes += 1
+            self._m_episodes.inc()
         self._store(packet, queue)
         return HookVerdict.CONSUMED
 
@@ -458,16 +503,16 @@ class RemotePacketBuffer:
             ip = packet.find(Ipv4Header)
             if ip is not None and ip.ecn in (1, 2):
                 ip.ecn = 3  # CE: the ring, not the port queue, is hot
-                self.stats.ecn_marked += 1
+                self._m_ecn_marked.inc()
         frame = packet.pack()
         if len(frame) > self.config.entry_bytes - ENTRY_SEQ_BYTES:
-            self.stats.oversize_drops += 1
+            self._m_oversize_drops.inc()
             return
         channel_idx = self._assign_channel()
         if channel_idx is None:
             # Remote rings exhausted — §2.1 argues O(10 GB) makes this
             # rare; when it happens the packet drops like any buffer drop.
-            self.stats.ring_full_drops += 1
+            self._m_ring_full_drops.inc()
             return
         write_ptr = self._regs.read(_WRITE_PTR)
         slot = (
@@ -494,8 +539,8 @@ class RemotePacketBuffer:
         self._channel_unread[channel_idx] += 1
         self._meta_by_index[write_ptr] = dict(packet.meta)
         self._regs.write(_WRITE_PTR, write_ptr + 1)
-        self.stats.stored_packets += 1
-        self.stats.stored_bytes += len(frame)
+        self._m_stored_packets.inc()
+        self._m_stored_bytes.inc(len(frame))
         # If the local queue already drained below the low watermark the
         # dequeue trigger will never fire again — kick loading from here.
         self._maybe_start_loading(queue)
@@ -566,7 +611,7 @@ class RemotePacketBuffer:
             return True
         if channel_idx in self._failed_channels:
             self._reorder[load_ptr] = None
-            self.stats.lost_to_failover += 1
+            self._m_lost_to_failover.inc()
             return True
         # §4: "each load operation fetches a single entire entry regardless
         # of the original packet size".
@@ -607,7 +652,7 @@ class RemotePacketBuffer:
         only in-flight reads are abandoned.  Channels that were stalling
         accumulate a strike toward failover (§7 robustness).
         """
-        self.stats.read_recoveries += 1
+        self._m_read_recoveries.inc()
         self._outstanding_reads = 0
         for idx, inflight in enumerate(self._inflight):
             if inflight:
@@ -639,7 +684,7 @@ class RemotePacketBuffer:
         self._failed_channels.add(idx)
         self._draining_channels.discard(idx)
         self._inflight[idx].clear()
-        self.stats.channels_failed += 1
+        self._m_channels_failed.inc()
 
     # -- response handling -----------------------------------------------------------
 
@@ -709,8 +754,9 @@ class RemotePacketBuffer:
             # Stale stamp: the WRITE for this slot was lost on the wire, so
             # the original packet is gone (best-effort semantics, §7).
             self._reorder[pointer] = None
-            self.stats.lost_in_transit += 1
-        self.stats.reorder_peak = max(self.stats.reorder_peak, len(self._reorder))
+            self._m_lost_in_transit.inc()
+        if len(self._reorder) > self._m_reorder_peak.value:
+            self._m_reorder_peak.set(len(self._reorder))
         self._drain_reorder()
         if self.stored_entries > 0:
             # §4: the received READ response triggers the next READ.
@@ -741,8 +787,8 @@ class RemotePacketBuffer:
                 self._channel_unread[channel_idx] -= 1
             self._regs.write(_READ_PTR, read_ptr + 1)
             if original is not None:
-                self.stats.loaded_packets += 1
-                self.stats.loaded_bytes += original.buffer_len
+                self._m_loaded_packets.inc()
+                self._m_loaded_bytes.inc(original.buffer_len)
                 # Re-inject into the protected egress queue, bypassing the
                 # hook so the loaded packet is not diverted again.
                 queue.enqueue_direct(original)

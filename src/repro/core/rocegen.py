@@ -5,9 +5,13 @@ top of original or cloned packets, filling in QPN / rkey / addresses from
 control-plane-installed registers, and parsing responses coming back from
 the RNIC.  All three primitives (§4) are built on this class.
 
-The generator also keeps the per-channel statistics the evaluation needs
-(request counts, request/response wire bytes), so experiments measure
-overhead from actual packet sizes rather than assumed constants.
+Observability: every generator claims a ``roce[<channel>]`` scope in the
+simulation's :class:`~repro.obs.MetricRegistry` (request counts, wire
+bytes, NAKs, strikes, timeouts) and — when the run enables wire tracing —
+emits one :class:`~repro.obs.trace.TraceEvent` per request transmitted
+and per response classified, stamped with the QP, the PSN and the sim
+time.  The legacy :class:`RoceGenStats` dataclass survives as a snapshot
+property over those metrics.
 """
 
 from __future__ import annotations
@@ -16,6 +20,15 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..net.packet import Packet
+from ..obs.trace import (
+    KIND_ACK,
+    KIND_ATOMIC,
+    KIND_ATOMIC_ACK,
+    KIND_NAK,
+    KIND_READ,
+    KIND_READ_RESP,
+    KIND_WRITE,
+)
 from ..rdma.constants import AethSyndrome, Opcode
 from ..rdma.headers import AethHeader, AtomicAckEthHeader, BthHeader
 from ..rdma.packets import (
@@ -33,9 +46,17 @@ from .channel import RemoteMemoryChannel
 #: it, and "progress" on every non-NAK response.
 HealthListener = Callable[["RoceRequestGenerator", str], None]
 
+_RESPONSE_KINDS = {
+    Opcode.ACKNOWLEDGE: KIND_ACK,
+    Opcode.RDMA_READ_RESPONSE_ONLY: KIND_READ_RESP,
+    Opcode.ATOMIC_ACKNOWLEDGE: KIND_ATOMIC_ACK,
+}
+
 
 @dataclass
 class RoceGenStats:
+    """Snapshot of one generator's ``roce[<channel>].*`` metrics."""
+
     writes_issued: int = 0
     reads_issued: int = 0
     fetch_adds_issued: int = 0
@@ -60,11 +81,39 @@ class RoceRequestGenerator:
     ) -> None:
         self.switch = switch
         self.channel = channel
-        self.stats = RoceGenStats()
         #: Optional subscriber to this channel's health events (the cluster
         #: health monitor plugs in here); every primitive reports the same
         #: signal vocabulary — nak / strike / timeout / progress.
         self.health_listener: Optional[HealthListener] = None
+        obs = switch.sim.obs
+        #: This generator's scope in the simulation's metric registry.
+        self.metrics = obs.registry.unique_scope(f"roce[{channel.name}]")
+        self._trace = obs.trace
+        self._trace_node = f"switch:{switch.name}"
+        self._m_writes = self.metrics.counter("writes_issued")
+        self._m_reads = self.metrics.counter("reads_issued")
+        self._m_fetch_adds = self.metrics.counter("fetch_adds_issued")
+        self._m_responses = self.metrics.counter("responses_handled")
+        self._m_naks = self.metrics.counter("naks_received")
+        self._m_request_bytes = self.metrics.counter("request_wire_bytes")
+        self._m_response_bytes = self.metrics.counter("response_wire_bytes")
+        self._m_strikes = self.metrics.counter("strikes")
+        self._m_timeouts = self.metrics.counter("timeouts")
+
+    @property
+    def stats(self) -> RoceGenStats:
+        """Legacy stats shim: a snapshot of this generator's metrics."""
+        return RoceGenStats(
+            writes_issued=self._m_writes.value,
+            reads_issued=self._m_reads.value,
+            fetch_adds_issued=self._m_fetch_adds.value,
+            responses_handled=self._m_responses.value,
+            naks_received=self._m_naks.value,
+            request_wire_bytes=self._m_request_bytes.value,
+            response_wire_bytes=self._m_response_bytes.value,
+            strikes=self._m_strikes.value,
+            timeouts=self._m_timeouts.value,
+        )
 
     # -- health signal ------------------------------------------------------------
 
@@ -74,26 +123,26 @@ class RoceRequestGenerator:
 
     def record_strike(self) -> None:
         """The owning primitive implicated this channel in a stall."""
-        self.stats.strikes += 1
+        self._m_strikes.inc()
         self._emit_health("strike")
 
     def record_timeout(self) -> None:
         """A watchdog expired waiting on this channel."""
-        self.stats.timeouts += 1
+        self._m_timeouts.inc()
         self._emit_health("timeout")
 
     def health_snapshot(self) -> dict:
         """Uniform per-channel health counters (what the monitor consumes)."""
         return {
             "requests": (
-                self.stats.writes_issued
-                + self.stats.reads_issued
-                + self.stats.fetch_adds_issued
+                self._m_writes.value
+                + self._m_reads.value
+                + self._m_fetch_adds.value
             ),
-            "responses": self.stats.responses_handled,
-            "naks": self.stats.naks_received,
-            "strikes": self.stats.strikes,
-            "timeouts": self.stats.timeouts,
+            "responses": self._m_responses.value,
+            "naks": self._m_naks.value,
+            "strikes": self._m_strikes.value,
+            "timeouts": self._m_timeouts.value,
         }
 
     # -- request crafting ---------------------------------------------------------
@@ -121,8 +170,8 @@ class RoceRequestGenerator:
         )
         if meta:
             request.meta.update(meta)
-        self.stats.writes_issued += 1
-        self._transmit(request)
+        self._m_writes.inc()
+        self._transmit(request, KIND_WRITE)
         return request
 
     def read(self, remote_address: int, length: int) -> Packet:
@@ -134,8 +183,8 @@ class RoceRequestGenerator:
             self.channel.rkey,
             length,
         )
-        self.stats.reads_issued += 1
-        self._transmit(request)
+        self._m_reads.inc()
+        self._transmit(request, KIND_READ)
         return request
 
     def fetch_add(
@@ -155,8 +204,8 @@ class RoceRequestGenerator:
             value,
             psn=psn,
         )
-        self.stats.fetch_adds_issued += 1
-        self._transmit(request)
+        self._m_fetch_adds.inc()
+        self._transmit(request, KIND_ATOMIC)
         return request
 
     def _check_range(self, remote_address: int, size: int) -> None:
@@ -170,8 +219,18 @@ class RoceRequestGenerator:
                 f"{self.channel.name!r}"
             )
 
-    def _transmit(self, request: Packet) -> None:
-        self.stats.request_wire_bytes += request.wire_len
+    def _transmit(self, request: Packet, kind: str) -> None:
+        self._m_request_bytes.inc(request.wire_len)
+        if self._trace is not None:
+            self._trace.emit(
+                self.switch.sim.now,
+                self._trace_node,
+                self.channel.switch_qp.qpn,
+                kind,
+                psn=request.require(BthHeader).psn,
+                wire_bytes=request.wire_len,
+                channel=self.channel.name,
+            )
         self.switch.transmit(request, self.channel.server_port)
 
     # -- response handling ----------------------------------------------------------
@@ -184,15 +243,28 @@ class RoceRequestGenerator:
     def classify_response(self, packet: Packet) -> Opcode:
         """Account for a response and return its opcode; NAKs are counted."""
         bth = packet.require(BthHeader)
-        self.stats.responses_handled += 1
-        self.stats.response_wire_bytes += packet.wire_len
+        self._m_responses.inc()
+        self._m_response_bytes.inc(packet.wire_len)
         aeth = packet.find(AethHeader)
-        if aeth is not None and AethSyndrome.is_nak(aeth.syndrome):
-            self.stats.naks_received += 1
+        is_nak = aeth is not None and AethSyndrome.is_nak(aeth.syndrome)
+        opcode = Opcode(bth.opcode)
+        if is_nak:
+            self._m_naks.inc()
             self._emit_health("nak")
         else:
             self._emit_health("progress")
-        return Opcode(bth.opcode)
+        if self._trace is not None:
+            self._trace.emit(
+                self.switch.sim.now,
+                self._trace_node,
+                self.channel.switch_qp.qpn,
+                KIND_NAK if is_nak else _RESPONSE_KINDS.get(opcode, opcode.name),
+                psn=bth.psn,
+                wire_bytes=packet.wire_len,
+                channel=self.channel.name,
+                syndrome=aeth.syndrome if is_nak else None,
+            )
+        return opcode
 
     @staticmethod
     def is_nak(packet: Packet) -> bool:

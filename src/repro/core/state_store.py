@@ -22,6 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from .._deprecation import warn_once
 from ..net.packet import Packet
 from ..rdma.constants import ATOMIC_OPERAND_BYTES, Opcode, psn_distance
 from ..rdma.headers import BthHeader
@@ -102,9 +103,21 @@ class RemoteStateStore:
                 f"{self.config.counters} counters need {needed} B, channel "
                 f"has {channel.length} B"
             )
-        self.stats = StateStoreStats()
+        #: This store's scope in the simulation's metric registry
+        #: ("statestore", "statestore#2", ...).
+        self.metrics = switch.sim.obs.registry.unique_scope("statestore")
+        self._m_sampled = self.metrics.counter("sampled_packets")
+        self._m_ops = self.metrics.counter("operations_issued")
+        self._m_combined = self.metrics.counter("updates_combined")
+        self._m_acks = self.metrics.counter("acks_received")
+        self._m_naks = self.metrics.counter("naks_received")
+        self._m_value = self.metrics.counter("value_issued")
+        self._m_retx = self.metrics.counter("retransmissions")
+        self._m_requeued = self.metrics.counter("requeued_after_nak")
         self.rocegen = RoceRequestGenerator(switch, channel)
         self._regs = RegisterArray("statestore", 1, width_bits=16)
+        self.metrics.gauge("outstanding", fn=lambda: self._regs.read(_OUTSTANDING))
+        self.metrics.gauge("pending_value", fn=lambda: sum(self._accumulators.values()))
         # Pending (not yet issued) accumulated values by counter index.
         # On hardware this is a register array indexed by counter index;
         # FIFO order keeps flushing fair.
@@ -116,10 +129,41 @@ class RemoteStateStore:
         self._retry_snapshot: Optional[int] = None
         self._closed = False
 
+    @property
+    def stats(self) -> StateStoreStats:
+        """Legacy stats shim: a snapshot of this store's metrics."""
+        return StateStoreStats(
+            sampled_packets=self._m_sampled.value,
+            operations_issued=self._m_ops.value,
+            updates_combined=self._m_combined.value,
+            acks_received=self._m_acks.value,
+            naks_received=self._m_naks.value,
+            value_issued=self._m_value.value,
+            retransmissions=self._m_retx.value,
+            requeued_after_nak=self._m_requeued.value,
+        )
+
     # -- addressing ----------------------------------------------------------------
 
-    def index_of(self, packet: Packet) -> int:
-        return FiveTuple.of(packet).hash() % self.config.counters
+    def key_of(self, packet: Packet) -> FiveTuple:
+        """The counter key for *packet* (its 5-tuple)."""
+        return FiveTuple.of(packet)
+
+    def index_of(self, flow: FiveTuple) -> int:
+        """Counter index for *flow*.
+
+        Historically took a :class:`Packet` (``index_of(packet)``); that
+        form still works but is deprecated — use
+        ``index_of(key_of(packet))``, the same shape as
+        :meth:`RemoteLookupTable.index_of`.
+        """
+        if isinstance(flow, Packet):
+            warn_once(
+                f"{type(self).__name__}.index_of(packet) is deprecated; "
+                "use index_of(key_of(packet))"
+            )
+            flow = self.key_of(flow)
+        return flow.hash() % self.config.counters
 
     def counter_address(self, index: int) -> int:
         return self.channel.base_address + index * ATOMIC_OPERAND_BYTES
@@ -136,9 +180,9 @@ class RemoteStateStore:
         """
         if self.config.sample is not None and not self.config.sample(packet):
             return
-        self.stats.sampled_packets += 1
+        self._m_sampled.inc()
         value = 1 if self.config.count_mode == "packets" else packet.buffer_len
-        self.update(self.index_of(packet), value)
+        self.update(self.key_of(packet).hash() % self.config.counters, value)
 
     def update(self, index: int, value: int) -> None:
         """Add *value* to counter *index*, respecting the outstanding cap.
@@ -164,7 +208,7 @@ class RemoteStateStore:
             # No room (or batch not full): accumulate locally, flush later.
             self._accumulators[index] = pending
             if pending > value:
-                self.stats.updates_combined += 1
+                self._m_combined.inc()
 
     def _issue(self, index: int, value: int) -> None:
         # Negative deltas (Count Sketch's ±1 updates) ride as two's
@@ -177,8 +221,8 @@ class RemoteStateStore:
             self._inflight_ops[psn] = (index, value)
             self._arm_retry()
         self._regs.add(_OUTSTANDING, 1)
-        self.stats.operations_issued += 1
-        self.stats.value_issued += value
+        self._m_ops.inc()
+        self._m_value.inc(value)
 
     # -- response path ---------------------------------------------------------------
 
@@ -191,7 +235,7 @@ class RemoteStateStore:
         if opcode not in (Opcode.ATOMIC_ACKNOWLEDGE, Opcode.ACKNOWLEDGE):
             return True
         if self.rocegen.is_nak(packet):
-            self.stats.naks_received += 1
+            self._m_naks.inc()
             if self.config.reliable:
                 # Go-back-N: retransmit rejected operations with their
                 # original PSNs (never resync backwards — reusing a PSN for
@@ -203,10 +247,10 @@ class RemoteStateStore:
                 # PSN stream so later operations are not rejected too.
                 self.rocegen.maybe_resync(packet)
         elif self.config.reliable:
-            self.stats.acks_received += 1
+            self._m_acks.inc()
             self._ack_through(packet.require(BthHeader).psn)
         else:
-            self.stats.acks_received += 1
+            self._m_acks.inc()
         if not self.config.reliable:
             self._regs.write(
                 _OUTSTANDING, max(0, self._regs.read(_OUTSTANDING) - 1)
@@ -246,7 +290,7 @@ class RemoteStateStore:
             self.rocegen.fetch_add(
                 self.counter_address(index), value % (1 << 64), psn=p
             )
-            self.stats.requeued_after_nak += 1
+            self._m_requeued.inc()
         self._regs.write(_OUTSTANDING, len(self._inflight_ops))
 
     def _arm_retry(self) -> None:
@@ -276,7 +320,7 @@ class RemoteStateStore:
         self.rocegen.fetch_add(
             self.counter_address(index), value % (1 << 64), psn=head
         )
-        self.stats.retransmissions += 1
+        self._m_retx.inc()
         self._arm_retry()
 
     def _flush(self) -> None:

@@ -82,7 +82,7 @@ def run_batching_ablation(
         gen.start()
         tb.sim.run()
         packet = udp_between(tb.hosts[0], tb.hosts[1], 256)
-        counted = store.read_counter_via_control_plane(store.index_of(packet))
+        counted = store.read_counter_via_control_plane(store.index_of(store.key_of(packet)))
         results.append(
             BatchingResult(
                 batch_size=batch,
@@ -171,7 +171,7 @@ def run_window_ablation(
                 rnic_limit=rnic_limit,
                 packets=packets,
                 counted_remotely=store.read_counter_via_control_plane(
-                    store.index_of(packet)
+                    store.index_of(store.key_of(packet))
                 ),
                 pending_locally=store.pending_value,
                 rnic_overflow_drops=(
@@ -434,7 +434,7 @@ def run_drop_ablation(
                     reliable=reliable,
                     packets=packets,
                     counted_remotely=store.read_counter_via_control_plane(
-                        store.index_of(packet)
+                        store.index_of(store.key_of(packet))
                     ),
                     naks_seen=store.stats.naks_received,
                     retransmissions=(

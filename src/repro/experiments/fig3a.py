@@ -16,16 +16,16 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..analysis.reporting import format_table
-from ..apps.programs import RemoteLookupProgram, StaticL2Program
-from ..core.lookup_table import (
+from ..api import (
     ACTION_SET_DSCP,
+    FiveTuple,
     LookupTableConfig,
     RemoteAction,
     RemoteLookupTable,
+    build_testbed,
 )
-from ..switches.hashing import FiveTuple
+from ..apps.programs import RemoteLookupProgram, StaticL2Program
 from ..workloads.netpipe import PROBE_PORT, PingPong
-from .topology import build_testbed
 
 PACKET_SIZES = (64, 128, 256, 512, 1024)
 

@@ -16,13 +16,12 @@ from typing import List, Sequence
 
 from ..analysis.monitors import LinkBandwidthMonitor
 from ..analysis.reporting import format_table
+from ..api import RemoteStateStore, StateStoreConfig, build_testbed
 from ..apps.programs import CountingProgram, StaticL2Program
-from ..core.state_store import RemoteStateStore, StateStoreConfig
 from ..rdma.constants import ATOMIC_OPERAND_BYTES
 from ..rdma.headers import BthHeader
 from ..workloads.factory import udp_between
 from ..workloads.perftest import PacketSink, RawEthernetBw
-from .topology import build_testbed
 
 PACKET_SIZES = (64, 128, 256, 512, 1024)
 
@@ -92,7 +91,7 @@ def run_fig3b_point(packet_size: int, packets: int = 4000) -> Fig3bRow:
     request_gbps = monitor.rate_bps("b2a") / 1e9
     response_gbps = monitor.rate_bps("a2b") / 1e9
     counter = store.read_counter_via_control_plane(
-        store.index_of(udp_between(tb.hosts[0], tb.hosts[1], packet_size))
+        store.index_of(store.key_of(udp_between(tb.hosts[0], tb.hosts[1], packet_size)))
     )
     return Fig3bRow(
         packet_size=packet_size,

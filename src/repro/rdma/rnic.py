@@ -126,7 +126,28 @@ class Rnic:
         self.interface = interface
         self.dram = dram
         self.config = config if config is not None else RnicConfig()
-        self.stats = RnicStats()
+        obs = sim.obs
+        #: This RNIC's scope in the simulation's metric registry
+        #: ("rnic[<name>]"); per-QP gauges live under its qp[<qpn>] children.
+        self.metrics = obs.registry.unique_scope(f"rnic[{name}]")
+        self._trace = obs.trace
+        self._trace_node = f"rnic:{name}"
+        self._m_requests = self.metrics.counter("requests_received")
+        self._m_writes = self.metrics.counter("writes_executed")
+        self._m_reads = self.metrics.counter("reads_executed")
+        self._m_atomics = self.metrics.counter("atomics_executed")
+        self._m_responses = self.metrics.counter("responses_sent")
+        self._m_acks = self.metrics.counter("acks_sent")
+        self._m_naks = self.metrics.counter("naks_sent")
+        self._m_duplicates = self.metrics.counter("duplicates")
+        self._m_rx_overflow = self.metrics.counter("rx_overflow_drops")
+        self._m_atomic_overflow = self.metrics.counter("atomic_overflow_drops")
+        self._m_unknown_qp = self.metrics.counter("unknown_qp_drops")
+        self._m_access_errors = self.metrics.counter("access_errors")
+        self._m_sequence_errors = self.metrics.counter("sequence_errors")
+        self._m_bytes_written = self.metrics.counter("bytes_written")
+        self._m_bytes_read = self.metrics.counter("bytes_read")
+        self._m_retransmissions = self.metrics.counter("retransmissions")
         self.qps: Dict[int, QueuePair] = {}
         # Responder pipeline.
         self._rx_queue: Deque[Packet] = deque()
@@ -144,6 +165,28 @@ class Rnic:
         self._outstanding: "OrderedDict[tuple, WorkRequest]" = OrderedDict()
         self._pending: Deque[WorkRequest] = deque()
         self._retry_counts: Dict[int, int] = {}
+
+    @property
+    def stats(self) -> RnicStats:
+        """Legacy stats shim: a snapshot of this RNIC's metrics."""
+        return RnicStats(
+            requests_received=self._m_requests.value,
+            writes_executed=self._m_writes.value,
+            reads_executed=self._m_reads.value,
+            atomics_executed=self._m_atomics.value,
+            responses_sent=self._m_responses.value,
+            acks_sent=self._m_acks.value,
+            naks_sent=self._m_naks.value,
+            duplicates=self._m_duplicates.value,
+            rx_overflow_drops=self._m_rx_overflow.value,
+            atomic_overflow_drops=self._m_atomic_overflow.value,
+            unknown_qp_drops=self._m_unknown_qp.value,
+            access_errors=self._m_access_errors.value,
+            sequence_errors=self._m_sequence_errors.value,
+            bytes_written=self._m_bytes_written.value,
+            bytes_read=self._m_bytes_read.value,
+            retransmissions=self._m_retransmissions.value,
+        )
 
     # ------------------------------------------------------------------ setup
 
@@ -166,6 +209,14 @@ class Rnic:
         qp = QueuePair(qpn, self.ip, self.mac, initial_psn=initial_psn)
         self.qps[qpn] = qp
         self._atomic_replay[qpn] = OrderedDict()
+        # Function gauges sample the QP's live counters at snapshot time;
+        # the QP hot path stays a plain attribute increment.
+        qp_scope = self.metrics.child(f"qp[{qpn}]")
+        qp_scope.gauge(
+            "requests_received", fn=lambda qp=qp: qp.requests_received
+        )
+        qp_scope.gauge("responses_sent", fn=lambda qp=qp: qp.responses_sent)
+        qp_scope.gauge("naks_sent", fn=lambda qp=qp: qp.naks_sent)
         return qp
 
     def destroy_qp(self, qp: QueuePair) -> None:
@@ -182,6 +233,9 @@ class Rnic:
         del self.qps[qp.qpn]
         self._atomic_replay.pop(qp.qpn, None)
         self._resp_floor.pop(qp.qpn, None)
+        self.metrics.registry.remove_scope(
+            f"{self.metrics.name}.qp[{qp.qpn}]"
+        )
 
     # ----------------------------------------------------------- packet entry
 
@@ -198,10 +252,10 @@ class Rnic:
     # ---------------------------------------------------------- responder path
 
     def _accept_request(self, packet: Packet, bth: BthHeader) -> None:
-        self.stats.requests_received += 1
+        self._m_requests.inc()
         size = packet.buffer_len
         if self._rx_backlog_bytes + size > self.config.rx_buffer_bytes:
-            self.stats.rx_overflow_drops += 1
+            self._m_rx_overflow.inc()
             return
         self._rx_queue.append(packet)
         self._rx_backlog_bytes += size
@@ -239,7 +293,7 @@ class Rnic:
         bth = packet.require(BthHeader)
         qp = self.qps.get(bth.dest_qp)
         if qp is None or qp.state not in (QpState.RTR, QpState.RTS):
-            self.stats.unknown_qp_drops += 1
+            self._m_unknown_qp.inc()
             self._release_buffer(packet)
             return
         qp.requests_received += 1
@@ -249,7 +303,7 @@ class Rnic:
         elif distance < (1 << 23):
             # Future PSN: at least one request was lost.  NAK with the
             # expected PSN so the requester can resynchronize.
-            self.stats.sequence_errors += 1
+            self._m_sequence_errors.inc()
             self._release_buffer(packet)
             self._send_nak(
                 packet,
@@ -259,7 +313,7 @@ class Rnic:
             )
         else:
             # Past PSN: a duplicate (requester retransmission).
-            self.stats.duplicates += 1
+            self._m_duplicates.inc()
             self._release_buffer(packet)
             self._replay(packet, bth, qp)
 
@@ -273,11 +327,11 @@ class Rnic:
             elif opcode == Opcode.FETCH_ADD:
                 self._execute_fetch_add(packet, bth, qp)
             else:
-                self.stats.naks_sent += 1
+                self._m_naks.inc()
                 self._release_buffer(packet)
                 self._send_nak(packet, qp, AethSyndrome.NAK_INVALID_REQUEST)
         except MemoryAccessError:
-            self.stats.access_errors += 1
+            self._m_access_errors.inc()
             qp.advance_expected()
             self._release_buffer(packet)
             self._send_nak(packet, qp, AethSyndrome.NAK_REMOTE_ACCESS_ERROR)
@@ -293,8 +347,8 @@ class Rnic:
         region = self._region(reth.rkey)
         data = packet.payload[: reth.dma_length]
         region.write(reth.virtual_address, data)
-        self.stats.writes_executed += 1
-        self.stats.bytes_written += len(data)
+        self._m_writes.inc()
+        self._m_bytes_written.inc(len(data))
         qp.advance_expected()
         finish = self._reserve_dma(
             len(data), self.config.dma_write_bandwidth_bps
@@ -308,8 +362,8 @@ class Rnic:
         reth = packet.require(RethHeader)
         region = self._region(reth.rkey)
         data = region.read(reth.virtual_address, reth.dma_length)
-        self.stats.reads_executed += 1
-        self.stats.bytes_read += len(data)
+        self._m_reads.inc()
+        self._m_bytes_read.inc(len(data))
         qp.advance_expected()
         finish = self._reserve_dma(
             len(data),
@@ -324,7 +378,7 @@ class Rnic:
         if self._atomic_inflight >= self.config.max_outstanding_atomics:
             # The atomic engine is saturated; a real NIC drops or stalls the
             # wire.  The paper's switch-side primitive exists to avoid this.
-            self.stats.atomic_overflow_drops += 1
+            self._m_atomic_overflow.inc()
             self._release_buffer(packet)
             return
         atomic = packet.require(AtomicEthHeader)
@@ -333,7 +387,7 @@ class Rnic:
         # the bounded atomic *engine* only determines when the response can
         # leave and when the request's buffer is retired.
         original = region.fetch_add(atomic.virtual_address, atomic.swap_add)
-        self.stats.atomics_executed += 1
+        self._m_atomics.inc()
         qp.advance_expected()
         cache = self._atomic_replay[qp.qpn]
         cache[bth.psn] = original
@@ -410,10 +464,10 @@ class Rnic:
         times non-decreasing and same-time events fire FIFO.
         """
         qp.responses_sent += 1
-        self.stats.responses_sent += 1
+        self._m_responses.inc()
         bth = response.require(BthHeader)
         if bth.opcode == Opcode.ACKNOWLEDGE:
-            self.stats.acks_sent += 1
+            self._m_acks.inc()
         when_ns = max(when_ns, self.sim.now, self._resp_floor.get(qp.qpn, 0.0))
         self._resp_floor[qp.qpn] = when_ns
         self.sim.schedule(when_ns - self.sim.now, self.interface.send, response)
@@ -425,8 +479,19 @@ class Rnic:
         syndrome: int,
         psn_override: Optional[int] = None,
     ) -> None:
-        self.stats.naks_sent += 1
+        self._m_naks.inc()
         qp.naks_sent += 1
+        if self._trace is not None:
+            self._trace.emit(
+                self.sim.now,
+                self._trace_node,
+                qp.qpn,
+                "NAK",
+                psn=psn_override
+                if psn_override is not None
+                else packet.require(BthHeader).psn,
+                syndrome=syndrome,
+            )
         self._send_response_at(
             self.sim.now,
             build_ack(packet, qp, syndrome=syndrome, psn_override=psn_override),
@@ -483,7 +548,7 @@ class Rnic:
             )
             return
         self._retry_counts[wr.wr_id] = retries + 1
-        self.stats.retransmissions += 1
+        self._m_retransmissions.inc()
         packet = self._build_request(qp, wr)
         self.interface.send(packet)
         self.sim.schedule(
@@ -496,7 +561,7 @@ class Rnic:
         # to by QPN.
         qp = self.qps.get(bth.dest_qp)
         if qp is None:
-            self.stats.unknown_qp_drops += 1
+            self._m_unknown_qp.inc()
             return
         aeth = packet.find(AethHeader)
         if aeth is not None and AethSyndrome.is_nak(aeth.syndrome):

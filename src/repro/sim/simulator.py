@@ -33,6 +33,7 @@ import heapq
 from typing import Any, Callable, List, Optional
 
 from .events import ARGS, CALLBACK, TIME, Event
+from ..obs import Observability
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -62,12 +63,15 @@ class Simulator:
         sim.run()
     """
 
-    __slots__ = ("_heap", "_now", "_seq", "_events_processed", "_running")
+    __slots__ = ("_heap", "_now", "_seq", "_events_processed", "_running", "obs")
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._now: float = 0.0
         self._seq: int = 0
+        #: Observability handle shared by everything in this simulation
+        #: (the session-wide one when a CLI/benchmark run installed it).
+        self.obs: Observability = Observability.adopt()
         self._events_processed: int = 0
         self._running: bool = False
 

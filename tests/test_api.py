@@ -1,0 +1,201 @@
+"""Tests for the public facade (repro.api) and the deprecation shims."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+import repro.api as api
+from repro import _deprecation
+from repro.switches.hashing import FiveTuple
+from repro.workloads.factory import udp_between
+
+
+# -- facade ------------------------------------------------------------------
+
+
+def test_every_exported_name_resolves():
+    for name in api.__all__:
+        assert getattr(api, name, None) is not None, name
+
+
+def test_facade_matches_deep_imports():
+    from repro.core.lookup_table import RemoteLookupTable
+    from repro.core.state_store import RemoteStateStore
+    from repro.testbed import build_testbed
+
+    assert api.RemoteLookupTable is RemoteLookupTable
+    assert api.RemoteStateStore is RemoteStateStore
+    assert api.build_testbed is build_testbed
+
+
+def test_experiments_topology_shim_still_works():
+    from repro.experiments.topology import Testbed, build_testbed
+
+    assert build_testbed is api.build_testbed
+    assert Testbed is api.Testbed
+
+
+def test_build_testbed_round_trip_through_facade():
+    """The quickstart flow, entirely through repro.api."""
+    tb = api.build_testbed(n_hosts=1)
+    program = api.StaticL2Program()
+    program.install(tb.hosts[0].eth.mac, tb.host_ports[0])
+    program.install(tb.memory_server.eth.mac, tb.server_port)
+    tb.switch.bind_program(program)
+    channel = tb.controller.open_channel(
+        tb.memory_server, tb.server_port, api.kib(4)
+    )
+    gen = api.RoceRequestGenerator(tb.switch, channel)
+    gen.write(channel.base_address, b"via the facade")
+    tb.sim.run()
+    assert channel.region.read(channel.base_address, 14) == b"via the facade"
+    assert tb.memory_server.cpu_packets == 0
+    # The write is visible in the simulation's metric registry too.
+    assert tb.sim.obs.registry.total("writes_issued") == 1
+    assert tb.sim.obs.registry.total("writes_executed") == 1
+
+
+# -- key_of / index_of reconciliation ---------------------------------------
+
+
+def _lookup_table():
+    tb = api.build_testbed(n_hosts=2)
+    config = api.LookupTableConfig(entries=1 << 8)
+    channel = tb.controller.open_channel(
+        tb.memory_server, tb.server_port, config.entries * config.entry_bytes
+    )
+    return tb, api.RemoteLookupTable(tb.switch, channel, config=config)
+
+
+def _state_store():
+    from repro.rdma.constants import ATOMIC_OPERAND_BYTES
+
+    tb = api.build_testbed(n_hosts=2)
+    config = api.StateStoreConfig(counters=1 << 8)
+    channel = tb.controller.open_channel(
+        tb.memory_server, tb.server_port, config.counters * ATOMIC_OPERAND_BYTES
+    )
+    return tb, api.RemoteStateStore(tb.switch, channel, config=config)
+
+
+def test_key_of_then_index_of_is_the_supported_form():
+    tb, table = _lookup_table()
+    packet = udp_between(tb.hosts[0], tb.hosts[1], 128)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        key = table.key_of(packet)
+        assert isinstance(key, FiveTuple)
+        index = table.index_of(key)
+    assert 0 <= index < table.config.entries
+
+    tb, store = _state_store()
+    packet = udp_between(tb.hosts[0], tb.hosts[1], 128)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        key = store.key_of(packet)
+        assert isinstance(key, FiveTuple)
+        index = store.index_of(key)
+    assert 0 <= index < store.config.counters
+
+
+def test_lookup_index_of_packet_is_deprecated_but_equivalent():
+    _deprecation.reset()
+    tb, table = _lookup_table()
+    packet = udp_between(tb.hosts[0], tb.hosts[1], 128)
+    with pytest.warns(DeprecationWarning, match="index_of"):
+        deprecated = table.index_of(packet)
+    assert deprecated == table.index_of(table.key_of(packet))
+
+
+def test_state_store_index_of_packet_is_deprecated_but_equivalent():
+    _deprecation.reset()
+    tb, store = _state_store()
+    packet = udp_between(tb.hosts[0], tb.hosts[1], 128)
+    with pytest.warns(DeprecationWarning, match="index_of"):
+        deprecated = store.index_of(packet)
+    assert deprecated == store.index_of(store.key_of(packet))
+
+
+def test_deprecation_warns_once_until_reset():
+    _deprecation.reset()
+    tb, table = _lookup_table()
+    packet = udp_between(tb.hosts[0], tb.hosts[1], 128)
+    with pytest.warns(DeprecationWarning):
+        table.index_of(packet)
+    # Second call: silent (warn-once), even with an always-filter on.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        table.index_of(packet)
+    assert not [w for w in caught if w.category is DeprecationWarning]
+    # reset() re-arms the warning (test isolation hook).
+    _deprecation.reset()
+    with pytest.warns(DeprecationWarning):
+        table.index_of(packet)
+
+
+# -- packet-buffer read-channel validation (bugfix) --------------------------
+
+
+def _buffer_setup():
+    tb = api.build_testbed(n_hosts=2)
+    config = api.PacketBufferConfig()
+    size = 64 * config.entry_bytes
+    write_ch = tb.controller.open_channel(tb.memory_server, tb.server_port, size)
+    read_ch = tb.controller.open_channel(
+        tb.memory_server, tb.server_port, share_region_with=write_ch
+    )
+    return tb, config, write_ch, read_ch
+
+
+def test_read_channel_sharing_the_region_is_accepted():
+    tb, config, write_ch, read_ch = _buffer_setup()
+    buffer = api.RemotePacketBuffer(
+        tb.switch,
+        [write_ch],
+        protected_port=tb.host_ports[0],
+        config=config,
+        read_channels=[read_ch],
+    )
+    assert buffer.read_channels == [read_ch]
+
+
+def test_read_channel_with_same_rkey_but_other_base_is_rejected():
+    # Regression: validation used to accept any channel whose rkey matched,
+    # even when it pointed at different memory.
+    tb, config, write_ch, read_ch = _buffer_setup()
+    forged = dataclasses.replace(
+        read_ch, base_address=read_ch.base_address + config.entry_bytes
+    )
+    assert forged.rkey == write_ch.rkey
+    with pytest.raises(ValueError, match="share their write channel's region"):
+        api.RemotePacketBuffer(
+            tb.switch,
+            [write_ch],
+            protected_port=tb.host_ports[0],
+            config=config,
+            read_channels=[forged],
+        )
+
+
+def test_read_channel_on_another_server_is_rejected():
+    tb = api.build_testbed(n_hosts=2, n_memory_servers=2)
+    config = api.PacketBufferConfig()
+    size = 64 * config.entry_bytes
+    write_ch = tb.controller.open_channel(
+        tb.memory_servers[0], tb.server_ports[0], size
+    )
+    read_ch = tb.controller.open_channel(
+        tb.memory_servers[0], tb.server_ports[0], share_region_with=write_ch
+    )
+    forged = dataclasses.replace(read_ch, server=tb.memory_servers[1])
+    assert forged.rkey == write_ch.rkey
+    assert forged.base_address == write_ch.base_address
+    with pytest.raises(ValueError, match="share their write channel's region"):
+        api.RemotePacketBuffer(
+            tb.switch,
+            [write_ch],
+            protected_port=tb.host_ports[0],
+            config=config,
+            read_channels=[forged],
+        )

@@ -44,7 +44,7 @@ class TestCounting:
         send_n(tb, 50)
         tb.sim.run()
         packet = udp_between(tb.hosts[0], tb.hosts[1], 256, src_port=7000)
-        index = store.index_of(packet)
+        index = store.index_of(store.key_of(packet))
         # §5: "the updated value is 100% accurate".
         assert store.read_counter_via_control_plane(index) == 50
         assert store.pending_value == 0
@@ -71,8 +71,8 @@ class TestCounting:
         tb.sim.run()
         p_a = udp_between(tb.hosts[0], tb.hosts[1], 256, src_port=7000)
         p_b = udp_between(tb.hosts[0], tb.hosts[1], 256, src_port=7001)
-        assert store.read_counter_via_control_plane(store.index_of(p_a)) == 20
-        assert store.read_counter_via_control_plane(store.index_of(p_b)) == 30
+        assert store.read_counter_via_control_plane(store.index_of(store.key_of(p_a))) == 20
+        assert store.read_counter_via_control_plane(store.index_of(store.key_of(p_b))) == 30
 
     def test_outstanding_never_exceeds_cap(self):
         config = StateStoreConfig(counters=1 << 12, max_outstanding=4)
@@ -90,7 +90,7 @@ class TestCounting:
         assert max(peak) <= 4
         # And accuracy still holds despite accumulation.
         packet = udp_between(tb.hosts[0], tb.hosts[1], 256, src_port=7000)
-        assert store.read_counter_via_control_plane(store.index_of(packet)) == 200
+        assert store.read_counter_via_control_plane(store.index_of(store.key_of(packet))) == 200
 
     def test_accumulation_combines_updates(self):
         # A slow atomic engine forces local accumulation.
@@ -102,7 +102,7 @@ class TestCounting:
         assert store.stats.updates_combined > 0
         assert store.stats.operations_issued < 300
         packet = udp_between(tb.hosts[0], tb.hosts[1], 256, src_port=7000)
-        assert store.read_counter_via_control_plane(store.index_of(packet)) == 300
+        assert store.read_counter_via_control_plane(store.index_of(store.key_of(packet))) == 300
 
     def test_rnic_atomic_engine_never_overflows(self):
         rnic = RnicConfig(atomic_rate_ops=100_000.0, max_outstanding_atomics=16)
@@ -118,7 +118,7 @@ class TestCounting:
         send_n(tb, 10, size=500)
         tb.sim.run()
         packet = udp_between(tb.hosts[0], tb.hosts[1], 256, src_port=7000)
-        assert store.read_counter_via_control_plane(store.index_of(packet)) == 5000
+        assert store.read_counter_via_control_plane(store.index_of(store.key_of(packet))) == 5000
 
     def test_sampling_predicate(self):
         config = StateStoreConfig(
@@ -139,7 +139,7 @@ class TestCounting:
         assert store.stats.operations_issued <= 10
         packet = udp_between(tb.hosts[0], tb.hosts[1], 256, src_port=7000)
         # Batched mode may hold back a partial batch (update delay, §7)...
-        counted = store.read_counter_via_control_plane(store.index_of(packet))
+        counted = store.read_counter_via_control_plane(store.index_of(store.key_of(packet)))
         assert counted + store.pending_value == 100
         assert counted >= 90
 

@@ -197,7 +197,7 @@ class TestPsnWraparound:
         gen.start()
         tb.sim.run()
         packet = udp_between(tb.hosts[0], tb.hosts[1], 256)
-        assert store.read_counter_via_control_plane(store.index_of(packet)) == 50
+        assert store.read_counter_via_control_plane(store.index_of(store.key_of(packet))) == 50
         assert tb.memory_server.rnic.stats.sequence_errors == 0
 
     def test_packet_buffer_across_wrap(self):

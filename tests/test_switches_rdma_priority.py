@@ -194,4 +194,4 @@ class TestRdmaRateCap:
         queue = tb.switch.port_queue(tb.server_port)
         assert queue.rdma_policer_drops == 0
         probe = udp_between(tb.hosts[0], tb.hosts[1], 256)
-        assert store.read_counter_via_control_plane(store.index_of(probe)) == 400
+        assert store.read_counter_via_control_plane(store.index_of(store.key_of(probe))) == 400
