@@ -1,0 +1,149 @@
+"""Chaos benchmark: the reliability acceptance bar, held by a record.
+
+Regenerates the fault-injection subsystem's headline claim (DESIGN.md
+§10): at 1 % i.i.d. loss on the memory-server link — both directions —
+the reliable-mode state store completes with **zero lost counter
+updates** and goodput within 10 % of the lossless run, deterministically
+reproducible from the FaultPlan seed.
+
+Run directly (``python benchmarks/bench_chaos.py``) this module writes
+the machine-readable ``BENCH_chaos.json`` perf record the repo commits;
+under pytest-benchmark it asserts the same bounds.
+"""
+
+import argparse
+import os
+import sys
+
+from repro.analysis.profiling import compare_records, load_report, write_report
+from repro.experiments.chaos import (
+    CHAOS_SEED,
+    LOSS_RATES,
+    chaos_perf_record,
+    format_chaos,
+    run_chaos_sweep,
+)
+
+
+def _assert_acceptance(rows) -> None:
+    by_rate = {row.loss_rate: row for row in rows}
+    lossless = by_rate[0.0]
+    lossy = by_rate[0.01]
+    # Zero lost updates at every swept loss rate, counters exact.
+    assert all(row.lost_updates == 0 for row in rows)
+    assert all(row.counters_wrong == 0 for row in rows)
+    # Loss was actually injected (the sweep is not vacuous).
+    assert lossy.link_drops > 0
+    # Goodput at 1% loss within 10% of the lossless run.
+    assert (
+        lossy.goodput_updates_per_ms
+        >= 0.9 * lossless.goodput_updates_per_ms
+    )
+
+
+def test_chaos_zero_loss_and_goodput(benchmark, paper_report):
+    rows = benchmark.pedantic(
+        run_chaos_sweep,
+        kwargs={"packets": 2000},
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_chaos(rows))
+    benchmark.extra_info["lost_updates"] = {
+        f"{row.loss_rate:g}": row.lost_updates for row in rows
+    }
+    _assert_acceptance(rows)
+
+
+def test_chaos_sweep_is_deterministic(benchmark, paper_report):
+    rows = benchmark.pedantic(
+        run_chaos_sweep,
+        kwargs={"packets": 1000, "loss_rates": (0.0, 0.01)},
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_chaos(rows))
+    replay = run_chaos_sweep(packets=1000, loss_rates=(0.0, 0.01))
+    assert [r.__dict__ for r in rows] == [r.__dict__ for r in replay]
+
+
+# -- standalone perf-record harness -----------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Benchmark the fault-injection/recovery path; emit a JSON "
+            "perf record."
+        )
+    )
+    parser.add_argument(
+        "--output", default="BENCH_chaos.json", help="perf record path"
+    )
+    parser.add_argument(
+        "--baseline",
+        default="",
+        help="baseline record to compute speedups against ('' to skip)",
+    )
+    parser.add_argument(
+        "--label", default="bench_chaos", help="label stored in the record"
+    )
+    parser.add_argument(
+        "--packets", type=int, default=3000, help="packets per sweep point"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=CHAOS_SEED, help="FaultPlan seed"
+    )
+    parser.add_argument("--quick", action="store_true", help="reduced scales")
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the run's metric registry to PATH (repro-metrics/v1 JSON)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record the RDMA wire timeline and write JSONL to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import Observability, WireTrace
+
+    obs = Observability(trace=WireTrace() if args.trace else None)
+    with obs.activate():
+        rows = run_chaos_sweep(
+            loss_rates=LOSS_RATES,
+            packets=1000 if args.quick else args.packets,
+            seed=args.seed,
+        )
+    _assert_acceptance(rows)
+    report = chaos_perf_record(rows, label=args.label)
+    if args.baseline and os.path.exists(args.baseline):
+        baseline = load_report(args.baseline)
+        report["baseline_label"] = baseline.get("label")
+        report["speedup"] = compare_records(report, baseline)
+    write_report(args.output, report)
+
+    print(format_chaos(rows))
+    lossy = next(r for r in rows if r.loss_rate == 0.01)
+    print(
+        f"\n1% loss: {lossy.lost_updates} lost updates, "
+        f"{lossy.link_drops} drops injected, "
+        f"{lossy.naks} NAKs, seed={lossy.seed}"
+    )
+    print(f"wrote {args.output}")
+    if args.metrics:
+        from repro.analysis.reporting import write_metrics_json
+
+        write_metrics_json(args.metrics, obs.registry, label=args.label)
+        print(f"wrote {args.metrics} ({len(obs.registry)} metrics)")
+    if args.trace:
+        obs.trace.write_jsonl(args.trace)
+        print(f"wrote {args.trace} ({len(obs.trace)} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

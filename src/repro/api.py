@@ -92,6 +92,30 @@ from .switches.pipeline import PipelineContext, SwitchProgram
 # -- servers and NICs -------------------------------------------------------
 from .hosts.server import Host, MemoryServer
 from .rdma.rnic import Rnic, RnicConfig
+from .rdma.packets import (
+    integrity_protected,
+    set_integrity_default,
+    verify_icrc,
+)
+
+# -- fault injection (DESIGN.md §10) ----------------------------------------
+from .faults import (
+    AtomicEngineStall,
+    Blackout,
+    Corrupt,
+    Duplicate,
+    FaultPlan,
+    GilbertElliottLoss,
+    IidLoss,
+    Jitter,
+    LinkFault,
+    LinkFaultInjector,
+    Reorder,
+    RnicBlackout,
+    RnicDropBurst,
+    RnicFault,
+    RnicFaultInjector,
+)
 
 # -- cluster scale-out ------------------------------------------------------
 from .cluster.pool import MemoryPool, PoolMember
@@ -165,6 +189,25 @@ __all__ = [
     "MemoryServer",
     "Rnic",
     "RnicConfig",
+    "integrity_protected",
+    "set_integrity_default",
+    "verify_icrc",
+    # fault injection
+    "AtomicEngineStall",
+    "Blackout",
+    "Corrupt",
+    "Duplicate",
+    "FaultPlan",
+    "GilbertElliottLoss",
+    "IidLoss",
+    "Jitter",
+    "LinkFault",
+    "LinkFaultInjector",
+    "Reorder",
+    "RnicBlackout",
+    "RnicDropBurst",
+    "RnicFault",
+    "RnicFaultInjector",
     # cluster
     "MemoryPool",
     "PoolMember",

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List
 
 from .experiments import ablations
 from .experiments.baremetal import format_baremetal, run_baremetal_comparison
+from .experiments.chaos import LOSS_RATES, format_chaos, run_chaos_sweep
 from .experiments.fig3a import format_fig3a, run_fig3a
 from .experiments.fig3b import format_fig3b, run_fig3b
 from .experiments.incast import format_incast, run_incast_comparison
@@ -114,6 +115,18 @@ def _cmd_scaleout(args: argparse.Namespace) -> str:
             )
         )
     return "\n\n".join(sections)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> str:
+    rates = tuple(args.loss) if args.loss else LOSS_RATES
+    return format_chaos(
+        run_chaos_sweep(
+            loss_rates=rates,
+            packets=args.packets,
+            seed=args.seed,
+            reliable=not args.unreliable,
+        )
+    )
 
 
 def _cmd_kv_cache(args: argparse.Namespace) -> str:
@@ -271,6 +284,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lookups-per-host", type=int, default=1200)
     p.add_argument("--failover-packets", type=int, default=4000)
     p.set_defaults(fn=_cmd_scaleout)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault injection: reliable counters over a lossy link",
+    )
+    p.add_argument("--packets", type=int, default=3000)
+    p.add_argument(
+        "--seed", type=int, default=42, help="FaultPlan seed (replayable)"
+    )
+    p.add_argument(
+        "--loss",
+        type=float,
+        action="append",
+        default=None,
+        metavar="P",
+        help="loss probability to sweep (repeatable; default 0/0.1%%/1%%/5%%)",
+    )
+    p.add_argument(
+        "--unreliable",
+        action="store_true",
+        help="ablation: disable the reliable-mode recovery machinery",
+    )
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("ablations", help="§7 design-choice ablations")
     p.add_argument(

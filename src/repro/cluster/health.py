@@ -101,6 +101,25 @@ class HealthMonitor:
 
         rocegen.health_listener = listen
 
+    def watch_requester(self, member: str, rnic) -> None:
+        """Subscribe to *rnic*'s retry-exhaustion verdicts under *member*.
+
+        The requester-side complement of :meth:`watch`: when the RNIC's
+        go-back-N machinery gives up on a QP (``max_retries`` fruitless
+        timeout rounds — a silent peer, not a NAKing one), that terminal
+        evidence lands here as a ``timeout`` event.  Chains any hook
+        already installed, like :meth:`watch` does.
+        """
+        self.track(member).watched += 1
+        previous = rnic.on_retry_exhausted
+
+        def escalate(qp) -> None:
+            if previous is not None:
+                previous(qp)
+            self.record(member, "timeout")
+
+        rnic.on_retry_exhausted = escalate
+
     # -- event intake --------------------------------------------------------------
 
     def record(self, member: str, event: str) -> None:

@@ -68,11 +68,13 @@ class RdmaChannelController:
     return the channel descriptor for the data plane.
     """
 
-    _switch_qpn = itertools.count(0x100)
-
     def __init__(self, switch: ProgrammableSwitch) -> None:
         self.switch = switch
         self.channels: list[RemoteMemoryChannel] = []
+        # Per-controller so switch-QP numbering is deterministic per run;
+        # responses dispatch on dest_qp, which only needs uniqueness
+        # within this controller's switch.
+        self._switch_qpn = itertools.count(0x100)
 
     def open_channel(
         self,

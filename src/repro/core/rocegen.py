@@ -24,6 +24,7 @@ from ..obs.trace import (
     KIND_ACK,
     KIND_ATOMIC,
     KIND_ATOMIC_ACK,
+    KIND_FAULT,
     KIND_NAK,
     KIND_READ,
     KIND_READ_RESP,
@@ -35,6 +36,7 @@ from ..rdma.packets import (
     build_fetch_add_request,
     build_read_request,
     build_write_request,
+    verify_icrc,
 )
 from ..switches.switch import ProgrammableSwitch
 from .channel import RemoteMemoryChannel
@@ -71,6 +73,9 @@ class RoceGenStats:
     #: Watchdog expiries charged to this channel (reliable-mode
     #: retransmission timers, read-chain watchdogs, ...).
     timeouts: int = 0
+    #: Responses discarded because their computed ICRC did not match —
+    #: corruption in flight, detected (see DESIGN.md §10).
+    icrc_drops: int = 0
 
 
 class RoceRequestGenerator:
@@ -99,6 +104,7 @@ class RoceRequestGenerator:
         self._m_response_bytes = self.metrics.counter("response_wire_bytes")
         self._m_strikes = self.metrics.counter("strikes")
         self._m_timeouts = self.metrics.counter("timeouts")
+        self._m_icrc_drops = self.metrics.counter("icrc_drops")
 
     @property
     def stats(self) -> RoceGenStats:
@@ -113,6 +119,7 @@ class RoceRequestGenerator:
             response_wire_bytes=self._m_response_bytes.value,
             strikes=self._m_strikes.value,
             timeouts=self._m_timeouts.value,
+            icrc_drops=self._m_icrc_drops.value,
         )
 
     # -- health signal ------------------------------------------------------------
@@ -240,9 +247,30 @@ class RoceRequestGenerator:
         bth = packet.find(BthHeader)
         return bth is not None and bth.dest_qp == self.channel.switch_qp.qpn
 
-    def classify_response(self, packet: Packet) -> Opcode:
-        """Account for a response and return its opcode; NAKs are counted."""
+    def classify_response(self, packet: Packet) -> Optional[Opcode]:
+        """Account for a response and return its opcode; NAKs are counted.
+
+        Responses carrying a computed ICRC are verified first: a
+        mismatch means the packet was corrupted in flight, and the data
+        plane must not act on anything inside it — it is dropped,
+        counted under ``icrc_drops``, and ``None`` is returned (callers
+        treat it as no response at all; the primitives' watchdogs
+        recover, the same as for a lost packet).
+        """
         bth = packet.require(BthHeader)
+        if not verify_icrc(packet):
+            self._m_icrc_drops.inc()
+            if self._trace is not None:
+                self._trace.emit(
+                    self.switch.sim.now,
+                    self._trace_node,
+                    self.channel.switch_qp.qpn,
+                    KIND_FAULT,
+                    psn=bth.psn,
+                    wire_bytes=packet.wire_len,
+                    channel="icrc",
+                )
+            return None
         self._m_responses.inc()
         self._m_response_bytes.inc(packet.wire_len)
         aeth = packet.find(AethHeader)

@@ -13,6 +13,7 @@ One module per result:
 * :mod:`.persistent_congestion` — §2.1 bursts-vs-persistence with ECN
 * :mod:`.ablations`          — §7 design-choice ablations
 * :mod:`.scaleout`           — cluster sharding / failover studies
+* :mod:`.chaos`              — lossy-link soak (fault injection + recovery)
 
 Each ``run_*`` harness has a matching ``format_*`` text renderer; both
 are exported here.  The library surface itself (primitives, testbed,
@@ -34,6 +35,12 @@ from .ablations import (
     run_window_ablation,
 )
 from .baremetal import format_baremetal, run_baremetal, run_baremetal_comparison
+from .chaos import (
+    chaos_perf_record,
+    format_chaos,
+    run_chaos_point,
+    run_chaos_sweep,
+)
 from .fig3a import format_fig3a, run_fig3a
 from .fig3b import format_fig3b, run_fig3b
 from .incast import format_incast, run_incast, run_incast_comparison
@@ -63,9 +70,11 @@ from .topology import Testbed, build_testbed
 __all__ = [
     "Testbed",
     "build_testbed",
+    "chaos_perf_record",
     "format_baremetal",
     "format_batching",
     "format_cache",
+    "format_chaos",
     "format_drops",
     "format_failover",
     "format_fig3a",
@@ -85,6 +94,8 @@ __all__ = [
     "run_baremetal_comparison",
     "run_batching_ablation",
     "run_cache_ablation",
+    "run_chaos_point",
+    "run_chaos_sweep",
     "run_drop_ablation",
     "run_failover_counters",
     "run_fig3a",

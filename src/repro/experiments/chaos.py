@@ -1,0 +1,262 @@
+"""Chaos soak: the state store under a lossy switch-to-server link.
+
+The paper's counter primitive (§4, Fig. 3b) assumes its RDMA channel is
+lossless; §5 then admits "RDMA requests were occasionally dropped at the
+NIC" without saying what that costs.  This experiment answers with the
+fault subsystem: sweep i.i.d. loss on the memory-server link (both
+directions — lost Fetch-and-Adds *and* lost ACKs) while a switch counts
+a fixed packet schedule into the remote store, and measure
+
+* **correctness** — with the reliable-mode store (same-PSN retransmit,
+  NAK-driven go-back-N, watchdog), every per-counter total must match
+  the send schedule exactly: zero lost updates at every loss rate;
+* **goodput** — completed counter updates per second of simulated time,
+  reported relative to the lossless run.  NAK-driven recovery keeps the
+  penalty small (the LinkGuardian argument: react to the loss *event*,
+  not the timeout) — the acceptance bar is ≥ 90 % of lossless goodput
+  at 1 % loss.
+
+Every fault draws from the :class:`~repro.faults.FaultPlan`'s seed, so a
+row reproduces byte-for-byte from ``(seed, loss_rate)`` — the committed
+``benchmarks/BENCH_chaos.json`` record is regenerated, not re-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.reporting import format_table
+from ..apps.programs import CountingProgram
+from ..core.state_store import RemoteStateStore, StateStoreConfig
+from ..faults import FaultPlan, IidLoss
+from ..net.headers import UdpHeader
+from ..rdma.constants import ATOMIC_OPERAND_BYTES
+from ..switches.hashing import FiveTuple
+from ..workloads.perftest import RawEthernetBw
+from .topology import build_testbed
+
+#: Root seed for every chaos run; one number pins the whole timeline.
+CHAOS_SEED = 42
+
+#: The swept per-packet loss probabilities (both link directions).
+LOSS_RATES = (0.0, 0.001, 0.01, 0.05)
+
+_BASE_SRC_PORT = 10_000
+_DST_PORT = 20_000
+
+
+@dataclass
+class ChaosRow:
+    """One point of the lossy-link sweep."""
+
+    loss_rate: float
+    seed: int
+    packets_sent: int
+    expected_total: int
+    recovered_total: int
+    #: Counters whose recovered value differs from the schedule.
+    counters_wrong: int
+    link_drops: int
+    retransmissions: int
+    naks: int
+    timeouts: int
+    duration_ms: float
+
+    @property
+    def lost_updates(self) -> int:
+        return self.expected_total - self.recovered_total
+
+    @property
+    def goodput_updates_per_ms(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.recovered_total / self.duration_ms
+
+
+def run_chaos_point(
+    loss_rate: float,
+    packets: int = 3000,
+    flows: int = 16,
+    counters: int = 1 << 12,
+    seed: int = CHAOS_SEED,
+    reliable: bool = True,
+    retry_timeout_ns: float = 50_000.0,
+) -> ChaosRow:
+    """Count *packets* through a link losing each packet with *loss_rate*.
+
+    The expected per-counter totals are fixed by the send schedule (the
+    flow rotation and the counter hash), so correctness is exact, not
+    statistical.  ``reliable=False`` runs the same sweep without the
+    recovery machinery — the ablation showing how much the paper's
+    fire-and-forget counters actually lose.
+    """
+    tb = build_testbed(n_hosts=2, with_memory_server=True)
+    program = CountingProgram()
+    for host, port in zip(tb.hosts, tb.host_ports):
+        program.install(host.eth.mac, port)
+    tb.switch.bind_program(program)
+
+    config = StateStoreConfig(
+        counters=counters,
+        reliable=reliable,
+        retry_timeout_ns=retry_timeout_ns,
+    )
+    channel = tb.controller.open_channel(
+        tb.memory_server,
+        tb.server_port,
+        counters * ATOMIC_OPERAND_BYTES,
+    )
+    store = RemoteStateStore(tb.switch, channel, config=config)
+    program.use_state_store(store)
+
+    plan = FaultPlan(seed=seed)
+    wire = None
+    if loss_rate > 0.0:
+        wire = plan.on_link(tb.server_link, name="server-link")
+        plan.at(0.0, wire, IidLoss(loss_rate))
+    plan.install(tb.sim)
+
+    src, dst = tb.hosts
+    expected: Dict[int, int] = {}
+    for seq in range(packets):
+        flow = FiveTuple(
+            src_ip=src.eth.ip.value,
+            dst_ip=dst.eth.ip.value,
+            protocol=17,
+            src_port=_BASE_SRC_PORT + (seq % flows),
+            dst_port=_DST_PORT,
+        )
+        index = flow.hash() % counters
+        expected[index] = expected.get(index, 0) + 1
+
+    def stamp(packet, seq) -> None:
+        packet.require(UdpHeader).src_port = _BASE_SRC_PORT + (seq % flows)
+
+    sender = RawEthernetBw(
+        tb.sim,
+        src,
+        dst,
+        packet_size=128,
+        rate_bps=1e9,
+        count=packets,
+        dst_port=_DST_PORT,
+        stamp=stamp,
+    )
+    sender.start()
+    tb.sim.run()
+
+    # Quiesce: force out everything still accumulated switch-side and let
+    # the retransmission machinery drain the in-flight window.
+    for _ in range(64):
+        if store.pending_value == 0 and store.outstanding == 0:
+            break
+        store.flush_all()
+        tb.sim.run()
+
+    recovered = {
+        index: store.read_counter_via_control_plane(index)
+        for index in expected
+    }
+    # Read drop totals off the injector object, not a registry snapshot:
+    # under a shared registry a second sweep point's scope is renamed
+    # ("...#2") and a name-based snapshot reads the wrong run.
+    dropped = wire.dropped if wire is not None else 0
+    gen_stats = store.rocegen.stats
+    return ChaosRow(
+        loss_rate=loss_rate,
+        seed=seed,
+        packets_sent=packets,
+        expected_total=sum(expected.values()),
+        recovered_total=sum(recovered.values()),
+        counters_wrong=sum(
+            1 for index, value in expected.items() if recovered[index] != value
+        ),
+        link_drops=int(dropped),
+        retransmissions=store.stats.retransmissions,
+        naks=gen_stats.naks_received,
+        timeouts=gen_stats.timeouts,
+        duration_ms=tb.sim.now / 1e6,
+    )
+
+
+def run_chaos_sweep(
+    loss_rates: Sequence[float] = LOSS_RATES,
+    packets: int = 3000,
+    seed: int = CHAOS_SEED,
+    reliable: bool = True,
+) -> List[ChaosRow]:
+    """The soak: one row per loss rate, identical workload and seed."""
+    return [
+        run_chaos_point(rate, packets=packets, seed=seed, reliable=reliable)
+        for rate in loss_rates
+    ]
+
+
+def format_chaos(rows: Sequence[ChaosRow]) -> str:
+    base = rows[0].goodput_updates_per_ms if rows else 0.0
+    return format_table(
+        [
+            "loss rate",
+            "sent",
+            "recovered",
+            "lost",
+            "wrong ctrs",
+            "link drops",
+            "naks",
+            "timeouts",
+            "time (ms)",
+            "goodput (upd/ms)",
+            "vs lossless",
+        ],
+        [
+            [
+                f"{r.loss_rate:.3%}",
+                r.packets_sent,
+                r.recovered_total,
+                r.lost_updates,
+                r.counters_wrong,
+                r.link_drops,
+                r.naks,
+                r.timeouts,
+                f"{r.duration_ms:.2f}",
+                f"{r.goodput_updates_per_ms:,.0f}",
+                f"{r.goodput_updates_per_ms / base:.1%}" if base > 0 else "-",
+            ]
+            for r in rows
+        ],
+        title=(
+            "Chaos — reliable counters over a lossy link "
+            f"(i.i.d. loss both directions, seed={rows[0].seed if rows else '-'})"
+        ),
+    )
+
+
+def chaos_perf_record(rows: Sequence[ChaosRow], label: str = "chaos"):
+    """The sweep in ``repro-perf-record/v1`` shape (committed as BENCH)."""
+    from ..analysis.profiling import PerfRecord, make_report
+
+    records: Dict[str, PerfRecord] = {}
+    for row in rows:
+        record = PerfRecord(
+            label=f"loss[{row.loss_rate:g}]",
+            wall_s=row.duration_ms / 1e3,
+            events=row.packets_sent,
+        )
+        record.extra.update(
+            {
+                "seed": row.seed,
+                "loss_rate": row.loss_rate,
+                "expected_total": row.expected_total,
+                "recovered_total": row.recovered_total,
+                "lost_updates": row.lost_updates,
+                "counters_wrong": row.counters_wrong,
+                "link_drops": row.link_drops,
+                "retransmissions": row.retransmissions,
+                "naks": row.naks,
+                "timeouts": row.timeouts,
+                "goodput_updates_per_ms": row.goodput_updates_per_ms,
+            }
+        )
+        records[record.label] = record
+    return make_report(label, records)

@@ -1,0 +1,183 @@
+"""FaultPlan: a replayable schedule of what breaks, where, and when.
+
+Chaos testing is only useful when a failing run can be re-run: the plan
+is the single object that pins down every source of nondeterminism.  It
+owns a :class:`~repro.sim.rng.SeedSequence` rooted at one seed and hands
+each injector and each fault model its own named stream, so adding a
+fault to a plan never perturbs the randomness of the ones already there
+— the same property the workload RNGs rely on, extended to failure.
+
+Usage::
+
+    plan = FaultPlan(seed=7)
+    wire = plan.on_link(tb.server_link)
+    plan.at(0.0, wire, IidLoss(0.01))                    # from t=0, forever
+    plan.at(usec(500), wire, Blackout(), duration_ns=usec(100))
+    plan.on_packet(wire, Corrupt(1.0), nth=10, count=1)  # exactly packet #10
+    nic = plan.on_rnic(tb.memory_server.rnic)
+    plan.at(usec(200), nic, RnicDropBurst(4))
+    plan.install(tb.sim)                                 # before sim.run()
+
+Two trigger shapes, per the tentpole spec: **time-based** (inject at
+t=X, optionally for duration D) and **packet-based** (on the Nth packet
+the link carries, optionally for a count).  ``install()`` turns the
+time-based entries into simulator events; packet triggers live in the
+injector's carry path.  Replaying the same plan under the same seed
+yields a byte-identical wire trace — the property test in
+``tests/test_faults.py`` holds the subsystem to exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..net.link import Link
+from ..rdma.rnic import Rnic
+from ..sim.rng import SeedSequence
+from ..sim.simulator import Simulator
+from .injectors import LinkFaultInjector, RnicFaultInjector
+from .models import LinkFault
+from .injectors import RnicFault
+
+AnyFault = Union[LinkFault, RnicFault]
+AnyInjector = Union[LinkFaultInjector, RnicFaultInjector]
+
+
+class FaultPlan:
+    """A deterministic, installable schedule of fault injections."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        #: Root of every RNG stream the plan hands out; child streams are
+        #: named, so plans compose without cross-perturbation.
+        self.seeds = SeedSequence(self.seed).spawn("faults")
+        #: (start_ns, duration_ns, injector, fault) in declaration order.
+        self.entries: List[
+            Tuple[float, Optional[float], AnyInjector, AnyFault]
+        ] = []
+        self._link_injectors: Dict[int, LinkFaultInjector] = {}
+        self._rnic_injectors: Dict[int, RnicFaultInjector] = {}
+        self._fault_counter = 0
+        self._installed = False
+
+    # -- injector factories ---------------------------------------------------
+
+    def on_link(
+        self,
+        link: Link,
+        name: Optional[str] = None,
+        direction: str = "both",
+    ) -> LinkFaultInjector:
+        """The plan's (memoised) injector for *link*.
+
+        The injector's RNG is the plan stream ``link[<name>]`` — distinct
+        links under one plan draw independent randomness.
+        """
+        key = id(link)
+        injector = self._link_injectors.get(key)
+        if injector is None:
+            inj_name = (
+                name
+                if name is not None
+                else f"{link.a.node.name}<->{link.b.node.name}"
+            )
+            injector = LinkFaultInjector(
+                link,
+                name=inj_name,
+                rng=self.seeds.stream(f"link[{inj_name}]"),
+                direction=direction,
+            )
+            self._link_injectors[key] = injector
+        return injector
+
+    def on_rnic(self, rnic: Rnic, name: Optional[str] = None) -> RnicFaultInjector:
+        """The plan's (memoised) injector for *rnic*."""
+        key = id(rnic)
+        injector = self._rnic_injectors.get(key)
+        if injector is None:
+            injector = RnicFaultInjector(rnic, name=name)
+            self._rnic_injectors[key] = injector
+        return injector
+
+    # -- schedule entries -----------------------------------------------------
+
+    def _bind(self, fault: AnyFault) -> None:
+        self._fault_counter += 1
+        fault.bind(self.seeds.stream(f"fault[{self._fault_counter}]:{fault.name}"))
+
+    def at(
+        self,
+        start_ns: float,
+        injector: AnyInjector,
+        fault: AnyFault,
+        duration_ns: Optional[float] = None,
+    ) -> AnyFault:
+        """Inject *fault* at ``t = start_ns``, optionally for a duration.
+
+        Without *duration_ns* the fault stays armed for the rest of the
+        run (or until the test disarms/stops it by hand).  Each fault
+        gets its own RNG stream at declaration time, so declaration
+        order — not firing order — fixes the randomness.
+        """
+        if start_ns < 0:
+            raise ValueError(f"start must be >= 0, got {start_ns}")
+        if duration_ns is not None and duration_ns <= 0:
+            raise ValueError(f"duration must be positive, got {duration_ns}")
+        if self._installed:
+            raise RuntimeError("plan already installed; build a new one")
+        self._bind(fault)
+        self.entries.append((float(start_ns), duration_ns, injector, fault))
+        return fault
+
+    def on_packet(
+        self,
+        injector: LinkFaultInjector,
+        fault: LinkFault,
+        nth: int,
+        count: Optional[int] = None,
+    ) -> LinkFault:
+        """Arm *fault* on the Nth packet *injector*'s link carries.
+
+        Packet triggers are inherently link-side (the RNIC injector has
+        no per-packet arming semantics — use :meth:`at` with
+        :class:`~repro.faults.injectors.RnicDropBurst` instead).
+        """
+        if not isinstance(injector, LinkFaultInjector):
+            raise TypeError("packet triggers only apply to link injectors")
+        self._bind(fault)
+        injector.when_packet(nth, fault, count=count)
+        return fault
+
+    # -- installation ---------------------------------------------------------
+
+    def install(self, sim: Simulator) -> None:
+        """Schedule every time-based entry onto *sim* (idempotent-once)."""
+        if self._installed:
+            raise RuntimeError("plan already installed")
+        self._installed = True
+        for start_ns, duration_ns, injector, fault in self.entries:
+            sim.schedule_at(start_ns, self._start, injector, fault)
+            if duration_ns is not None:
+                sim.schedule_at(
+                    start_ns + duration_ns, self._stop, injector, fault
+                )
+
+    @staticmethod
+    def _start(injector: AnyInjector, fault: AnyFault) -> None:
+        if isinstance(injector, RnicFaultInjector):
+            fault.start(injector)
+        else:
+            injector.arm(fault)
+
+    @staticmethod
+    def _stop(injector: AnyInjector, fault: AnyFault) -> None:
+        if isinstance(injector, RnicFaultInjector):
+            fault.stop(injector)
+        else:
+            injector.disarm(fault)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultPlan seed={self.seed} entries={len(self.entries)} "
+            f"links={len(self._link_injectors)} rnics={len(self._rnic_injectors)}>"
+        )

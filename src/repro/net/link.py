@@ -43,6 +43,10 @@ class Link:
         self.lost_packets = 0
         #: Taps fired as tap(src_interface, packet) when a packet enters the wire.
         self.taps: List[Callable[[Interface, Packet], None]] = []
+        #: Optional :class:`~repro.faults.injectors.LinkFaultInjector`; when
+        #: set it takes over delivery scheduling, applying its armed fault
+        #: models (loss, reorder, duplicate, jitter, corrupt) to each carry.
+        self.fault_injector = None
         a.link = self
         b.link = self
 
@@ -60,6 +64,9 @@ class Link:
             tap(src, packet)
         if self.loss_probability > 0.0 and self._loss_rng.random() < self.loss_probability:
             self.lost_packets += 1
+            return
+        if self.fault_injector is not None:
+            self.fault_injector.carry(self, src, packet)
             return
         self.sim.schedule(self.propagation_ns, dst.deliver, packet)
 

@@ -36,6 +36,10 @@ KIND_ACK = "ACK"
 KIND_NAK = "NAK"
 KIND_READ_RESP = "READ_RESP"
 KIND_ATOMIC_ACK = "ATOMIC_ACK"
+#: A go-back-N retransmission leaving the requester (see DESIGN.md §10).
+KIND_RETX = "RETX"
+#: An injected fault or integrity drop; ``channel`` names the effect.
+KIND_FAULT = "FAULT"
 
 
 @dataclass
@@ -48,7 +52,8 @@ class TraceEvent:
     node: str
     #: The observer's local queue pair number.
     qpn: int
-    #: WRITE / READ / ATOMIC / ACK / NAK / READ_RESP / ATOMIC_ACK.
+    #: WRITE / READ / ATOMIC / ACK / NAK / READ_RESP / ATOMIC_ACK /
+    #: RETX (go-back-N retransmission) / FAULT (injected fault, ICRC drop).
     kind: str
     #: Packet sequence number carried in the BTH (None if absent).
     psn: Optional[int] = None

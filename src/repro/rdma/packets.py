@@ -7,12 +7,18 @@ exactly these packets out of P4 actions on real hardware.
 All builders produce structured :class:`~repro.net.packet.Packet` objects
 with an Ethernet/IPv4/UDP/BTH stack and an ICRC trailer.  By default the
 ICRC value is left zero (computing CRC32 per simulated packet is wasted
-work); pass ``compute_icrc=True`` where integrity actually matters.
+work); pass ``compute_icrc=True`` where integrity actually matters, or
+flip the process-wide default with :func:`set_integrity_default` /
+:func:`integrity_protected` for runs that inject bit corruption — a
+zero-valued trailer is *unprotected* and corruption of such a packet is
+silent, which is exactly what the end-to-end ICRC regression test
+demonstrates (see DESIGN.md §10).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 from ..net.addresses import Ipv4Address, MacAddress
 from ..net.headers import (
@@ -35,6 +41,47 @@ from .headers import (
     gid_from_ipv4,
 )
 from .qp import QueuePair
+
+
+#: Process-wide default for the builders' ``compute_icrc`` parameter.
+#: False keeps the fast path free of per-packet CRC32; chaos runs with
+#: corruption faults flip it on so the receivers can actually detect
+#: damage (LinkGuardian's premise: corruption is *detected* loss).
+_default_compute_icrc = False
+
+
+def set_integrity_default(enabled: bool) -> bool:
+    """Set whether builders compute real ICRCs by default; returns the old value."""
+    global _default_compute_icrc
+    previous = _default_compute_icrc
+    _default_compute_icrc = bool(enabled)
+    return previous
+
+
+@contextmanager
+def integrity_protected(enabled: bool = True) -> Iterator[None]:
+    """Scope within which every built RoCE packet carries a real ICRC."""
+    previous = set_integrity_default(enabled)
+    try:
+        yield
+    finally:
+        set_integrity_default(previous)
+
+
+def verify_icrc(packet: Packet) -> bool:
+    """Check *packet*'s ICRC; True when intact or unprotected.
+
+    A missing trailer or a zero value means the sender never computed an
+    ICRC (the simulation default) — such packets are accepted, keeping
+    the fast path unchanged.  A nonzero value is recomputed over the
+    RoCE section (BTH onward, as the builders do); a mismatch means the
+    packet was damaged in flight and the receiver must drop it, turning
+    corruption into loss for the retransmission machinery to repair.
+    """
+    trailer = packet.find_trailer(IcrcTrailer)
+    if trailer is None or trailer.value == 0:
+        return True
+    return _icrc_for(packet).value == trailer.value
 
 
 def _icrc_for(packet: Packet) -> IcrcTrailer:
@@ -69,7 +116,7 @@ def _base_packet(
 
 def _finish(packet: Packet, compute_icrc: bool) -> Packet:
     packet.fixup_lengths()
-    if compute_icrc:
+    if compute_icrc or _default_compute_icrc:
         packet.trailers[0] = _icrc_for(packet)
     return packet
 

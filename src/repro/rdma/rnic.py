@@ -8,8 +8,29 @@ CX-3 Pro) does, entirely without host CPU involvement:
   host DRAM; and generates ACK / READ-response / atomic-ACK packets.
 * **Requester path** — a verbs-style ``post`` API used by the native
   host-to-host RDMA baseline (§5's comparison point) with PSN tracking,
-  completion callbacks, optional retransmission and a duplicate-atomic
-  response cache.
+  completion callbacks, optional go-back-N retransmission and a
+  duplicate-atomic response cache.
+
+Loss recovery (``enable_retransmit=True``) is real go-back-N, the RC
+transport's scheme: one retransmission timer per QP guards the *oldest*
+unacknowledged PSN; on expiry — or on a PSN-sequence NAK naming the
+responder's expected PSN — every outstanding request is re-sent in PSN
+order with its **original** PSN, so the responder either executes it
+(the gap case) or answers it idempotently from its duplicate-handling
+path (re-ACK for WRITEs, re-read for READs, replay cache for atomics).
+Timeouts back off exponentially (``retransmit_timeout_ns`` doubled by
+``retransmit_backoff`` per round); ``max_retries`` exhaustion completes
+every outstanding WR with an error status, counts it in the registry
+(``retries_exhausted``), and fires :attr:`Rnic.on_retry_exhausted` so
+the cluster :class:`~repro.cluster.health.HealthMonitor` can turn silent
+peers into down verdicts.  §5 only *observed* this failure class ("RDMA
+requests were occasionally dropped at the NIC") without a recovery
+story; the timer/NAK split here mirrors LinkGuardian's finding that
+NAK-driven (loss-event-driven) recovery is what keeps goodput near the
+lossless line, with timeouts only as the last resort for tail losses.
+Inbound packets whose ICRC is present and wrong are dropped and counted
+(``icrc_drops``) — corruption becomes loss, which this machinery then
+repairs (see DESIGN.md §10).
 
 Timing model (see DESIGN.md §5): a per-message processing cost, a DMA
 engine with bounded payload bandwidth (PCIe-limited, the reason native
@@ -29,6 +50,8 @@ from typing import Callable, Deque, Dict, Optional
 from ..net.addresses import Ipv4Address, MacAddress
 from ..net.node import Interface
 from ..net.packet import Packet
+from ..obs.trace import KIND_FAULT, KIND_RETX
+from ..sim.events import Event
 from ..sim.simulator import Simulator
 from ..sim.units import gbps, transmission_delay_ns, usec
 from .constants import (
@@ -47,8 +70,25 @@ from .packets import (
     build_read_request,
     build_read_response,
     build_write_request,
+    verify_icrc,
 )
 from .qp import Completion, QpState, QueuePair, WorkRequest
+
+
+@dataclass
+class _RetxState:
+    """Per-QP go-back-N recovery state (requester side).
+
+    One watchdog timer guards the QP's oldest unacknowledged PSN;
+    ``retries`` counts consecutive fruitless rounds (reset on any
+    progress) and drives the exponential backoff; ``last_nak_psn``
+    deduplicates the NAK burst a single loss event produces, so one
+    gap triggers one go-back-N resend, not one per trailing request.
+    """
+
+    retries: int = 0
+    timer: Optional[Event] = None
+    last_nak_psn: Optional[int] = None
 
 
 @dataclass
@@ -80,10 +120,20 @@ class RnicConfig:
     rx_buffer_bytes: int = 512 * 1024
     #: Requester: max in-flight work requests before local queueing.
     max_outstanding_requests: int = 128
-    #: Requester: retransmit timeout (used only when enabled).
+    #: Requester: base retransmission timeout for the per-QP go-back-N
+    #: watchdog (used only when ``enable_retransmit``); backed off
+    #: exponentially by ``retransmit_backoff`` per fruitless round.
     retransmit_timeout_ns: float = usec(500)
+    #: Requester: recover lost requests/responses with go-back-N instead
+    #: of surfacing failure completions on the first NAK or timeout.
     enable_retransmit: bool = False
+    #: Consecutive timeout rounds without progress before the requester
+    #: gives up: every outstanding WR completes with an error status and
+    #: :attr:`Rnic.on_retry_exhausted` fires (health escalation).
     max_retries: int = 3
+    #: Timeout multiplier per retry round (RC's exponential backoff —
+    #: keeps a blacked-out peer from being hammered at the base RTO).
+    retransmit_backoff: float = 2.0
 
 
 @dataclass
@@ -106,12 +156,12 @@ class RnicStats:
     bytes_written: int = 0
     bytes_read: int = 0
     retransmissions: int = 0
+    retries_exhausted: int = 0
+    icrc_drops: int = 0
 
 
 class Rnic:
     """An RDMA-capable NIC bound to one interface and one DRAM."""
-
-    _qpn_counter = itertools.count(0x11)
 
     def __init__(
         self,
@@ -121,6 +171,10 @@ class Rnic:
         dram: Dram,
         config: Optional[RnicConfig] = None,
     ) -> None:
+        # Per-instance, not class-level: QPNs are a per-NIC namespace on
+        # real hardware, and a process-global counter would make QP
+        # numbering (hence wire traces) depend on unrelated earlier runs.
+        self._qpn_counter = itertools.count(0x11)
         self.sim = sim
         self.name = name
         self.interface = interface
@@ -148,6 +202,12 @@ class Rnic:
         self._m_bytes_written = self.metrics.counter("bytes_written")
         self._m_bytes_read = self.metrics.counter("bytes_read")
         self._m_retransmissions = self.metrics.counter("retransmissions")
+        self._m_retries_exhausted = self.metrics.counter("retries_exhausted")
+        self._m_icrc_drops = self.metrics.counter("icrc_drops")
+        #: Fired with the QueuePair when go-back-N gives up on it; the
+        #: cluster HealthMonitor subscribes via ``watch_requester`` to
+        #: turn requester-side silence into member down verdicts.
+        self.on_retry_exhausted: Optional[Callable[[QueuePair], None]] = None
         self.qps: Dict[int, QueuePair] = {}
         # Responder pipeline.
         self._rx_queue: Deque[Packet] = deque()
@@ -164,7 +224,7 @@ class Rnic:
         # Requester state.
         self._outstanding: "OrderedDict[tuple, WorkRequest]" = OrderedDict()
         self._pending: Deque[WorkRequest] = deque()
-        self._retry_counts: Dict[int, int] = {}
+        self._retx: Dict[int, _RetxState] = {}
 
     @property
     def stats(self) -> RnicStats:
@@ -186,6 +246,8 @@ class Rnic:
             bytes_written=self._m_bytes_written.value,
             bytes_read=self._m_bytes_read.value,
             retransmissions=self._m_retransmissions.value,
+            retries_exhausted=self._m_retries_exhausted.value,
+            icrc_drops=self._m_icrc_drops.value,
         )
 
     # ------------------------------------------------------------------ setup
@@ -233,6 +295,9 @@ class Rnic:
         del self.qps[qp.qpn]
         self._atomic_replay.pop(qp.qpn, None)
         self._resp_floor.pop(qp.qpn, None)
+        retx = self._retx.pop(qp.qpn, None)
+        if retx is not None and retx.timer is not None:
+            retx.timer.cancel()
         self.metrics.registry.remove_scope(
             f"{self.metrics.name}.qp[{qp.qpn}]"
         )
@@ -240,9 +305,28 @@ class Rnic:
     # ----------------------------------------------------------- packet entry
 
     def handle_packet(self, packet: Packet) -> None:
-        """Entry point: the owning host delivers RoCE packets here."""
+        """Entry point: the owning host delivers RoCE packets here.
+
+        Packets carrying a computed ICRC are verified first; a mismatch
+        means in-flight corruption, and the NIC drops silently (real
+        RNICs do — no NAK, since nothing in the damaged packet can be
+        trusted).  Recovery is the requester's go-back-N timeout.
+        """
         bth = packet.find(BthHeader)
         if bth is None:
+            return
+        if not verify_icrc(packet):
+            self._m_icrc_drops.inc()
+            if self._trace is not None:
+                self._trace.emit(
+                    self.sim.now,
+                    self._trace_node,
+                    bth.dest_qp,
+                    KIND_FAULT,
+                    psn=bth.psn,
+                    wire_bytes=packet.wire_len,
+                    channel="icrc",
+                )
             return
         if bth.opcode in REQUEST_OPCODES:
             self._accept_request(packet, bth)
@@ -516,9 +600,7 @@ class Rnic:
         self._outstanding[(qp.qpn, wr.psn)] = wr
         self.interface.send(packet)
         if self.config.enable_retransmit:
-            self.sim.schedule(
-                self.config.retransmit_timeout_ns, self._maybe_retry, qp, wr
-            )
+            self._arm_retx(qp)
 
     def _build_request(self, qp: QueuePair, wr: WorkRequest) -> Packet:
         if wr.opcode == Opcode.RDMA_WRITE_ONLY:
@@ -535,25 +617,103 @@ class Rnic:
             )
         raise ValueError(f"unsupported requester opcode: {wr.opcode}")
 
-    def _maybe_retry(self, qp: QueuePair, wr: WorkRequest) -> None:
-        key = (qp.qpn, wr.psn)
-        if key not in self._outstanding:
-            return  # completed in the meantime
-        retries = self._retry_counts.get(wr.wr_id, 0)
-        if retries >= self.config.max_retries:
-            del self._outstanding[key]
-            self._complete(
-                wr, Completion(wr.wr_id, wr.opcode, success=False,
-                               completion_time_ns=self.sim.now, context=wr.context)
-            )
-            return
-        self._retry_counts[wr.wr_id] = retries + 1
-        self._m_retransmissions.inc()
-        packet = self._build_request(qp, wr)
-        self.interface.send(packet)
-        self.sim.schedule(
-            self.config.retransmit_timeout_ns, self._maybe_retry, qp, wr
+    # ---- go-back-N recovery (DESIGN.md §10's WAITING/RECOVERING machine)
+
+    def _qp_outstanding(self, qp: QueuePair) -> list:
+        """This QP's in-flight WRs in transmit (= PSN) order."""
+        return [
+            wr for (qpn, _psn), wr in self._outstanding.items() if qpn == qp.qpn
+        ]
+
+    def _arm_retx(self, qp: QueuePair, rearm: bool = False) -> None:
+        """Start (or with *rearm* restart) the QP's recovery watchdog.
+
+        The timeout guards the oldest unacknowledged PSN and backs off
+        exponentially with the consecutive-fruitless-round count.
+        """
+        state = self._retx.setdefault(qp.qpn, _RetxState())
+        if state.timer is not None:
+            if not rearm:
+                return
+            state.timer.cancel()
+        timeout = self.config.retransmit_timeout_ns * (
+            self.config.retransmit_backoff ** state.retries
         )
+        state.timer = self.sim.schedule(timeout, self._retx_timeout, qp)
+
+    def _retx_timeout(self, qp: QueuePair) -> None:
+        state = self._retx.get(qp.qpn)
+        if state is None:
+            return
+        state.timer = None
+        if not any(key[0] == qp.qpn for key in self._outstanding):
+            state.retries = 0
+            return
+        if state.retries >= self.config.max_retries:
+            self._exhaust_retries(qp, state)
+            return
+        state.retries += 1
+        self._retransmit_window(qp)
+        self._arm_retx(qp, rearm=True)
+
+    def _retransmit_window(self, qp: QueuePair) -> None:
+        """Go-back-N: re-send every outstanding request, original PSNs.
+
+        The responder executes the request that fills its PSN gap and
+        absorbs the rest through its duplicate path (re-ACK / re-read /
+        atomic replay cache), so over-retransmission costs bandwidth but
+        never correctness.
+        """
+        for wr in self._qp_outstanding(qp):
+            self._m_retransmissions.inc()
+            packet = self._build_request(qp, wr)
+            if self._trace is not None:
+                self._trace.emit(
+                    self.sim.now,
+                    self._trace_node,
+                    qp.qpn,
+                    KIND_RETX,
+                    psn=wr.psn,
+                    wire_bytes=packet.wire_len,
+                )
+            self.interface.send(packet)
+
+    def _exhaust_retries(self, qp: QueuePair, state: _RetxState) -> None:
+        """Give up on the QP: error-complete all in-flight work, escalate.
+
+        Every outstanding WR completes with ``success=False`` and is
+        counted under ``retries_exhausted`` — callers always get a
+        terminal verdict instead of a silently dropped completion — and
+        ``on_retry_exhausted`` hands the evidence to the health layer.
+        """
+        state.retries = 0
+        state.last_nak_psn = None
+        keys = [key for key in self._outstanding if key[0] == qp.qpn]
+        for key in keys:
+            wr = self._outstanding.pop(key)
+            self._m_retries_exhausted.inc()
+            self._complete(
+                wr,
+                Completion(
+                    wr.wr_id, wr.opcode, success=False,
+                    completion_time_ns=self.sim.now, context=wr.context,
+                ),
+            )
+        if self.on_retry_exhausted is not None:
+            self.on_retry_exhausted(qp)
+
+    def _note_progress(self, qp: QueuePair) -> None:
+        """The responder spoke and work completed: reset recovery state."""
+        state = self._retx.get(qp.qpn)
+        if state is None:
+            return
+        state.retries = 0
+        state.last_nak_psn = None
+        if state.timer is not None:
+            state.timer.cancel()
+            state.timer = None
+        if any(key[0] == qp.qpn for key in self._outstanding):
+            self._arm_retx(qp)
 
     def _handle_response(self, packet: Packet, bth: BthHeader) -> None:
         opcode = Opcode(bth.opcode)
@@ -566,6 +726,21 @@ class Rnic:
         aeth = packet.find(AethHeader)
         if aeth is not None and AethSyndrome.is_nak(aeth.syndrome):
             if aeth.syndrome == AethSyndrome.NAK_PSN_SEQUENCE_ERROR:
+                if self.config.enable_retransmit:
+                    # The NAK names the responder's expected PSN — recover
+                    # immediately with go-back-N instead of waiting out the
+                    # timer (the NAK-driven fast path; LinkGuardian's
+                    # observation that loss-event-driven recovery, not
+                    # timeouts, preserves goodput).  A single gap produces
+                    # a NAK per trailing request; resend once per distinct
+                    # expected PSN and let the watchdog cover a lost resend.
+                    state = self._retx.setdefault(qp.qpn, _RetxState())
+                    if state.last_nak_psn != bth.psn:
+                        state.last_nak_psn = bth.psn
+                        state.retries = 0
+                        self._retransmit_window(qp)
+                        self._arm_retx(qp, rearm=True)
+                    return
                 # The NAK carries the responder's expected PSN; everything
                 # from there on was rejected (we fail rather than replay —
                 # callers that want recovery enable retransmission).
@@ -590,14 +765,17 @@ class Rnic:
                 self._complete_psn(
                     qp, bth.psn, success=False, syndrome=aeth.syndrome
                 )
+                self._note_progress(qp)
             return
         if opcode == Opcode.RDMA_READ_RESPONSE_ONLY:
             self._complete_psn(qp, bth.psn, data=packet.payload)
+            self._note_progress(qp)
         elif opcode == Opcode.ATOMIC_ACKNOWLEDGE:
             atomic_ack = packet.require(AtomicAckEthHeader)
             self._complete_psn(
                 qp, bth.psn, original_value=atomic_ack.original_data
             )
+            self._note_progress(qp)
         elif opcode == Opcode.ACKNOWLEDGE:
             # Coalesced ACK: completes every outstanding WR up to this PSN.
             acked = [
@@ -615,6 +793,7 @@ class Rnic:
                         completion_time_ns=self.sim.now, context=wr.context,
                     ),
                 )
+            self._note_progress(qp)
 
     def _complete_psn(
         self,
@@ -643,7 +822,6 @@ class Rnic:
         )
 
     def _complete(self, wr: WorkRequest, completion: Completion) -> None:
-        self._retry_counts.pop(wr.wr_id, None)
         if self._pending and len(self._outstanding) < self.config.max_outstanding_requests:
             next_qp, next_wr = self._pending.popleft()
             self._transmit(next_qp, next_wr)

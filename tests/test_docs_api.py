@@ -1,0 +1,40 @@
+"""docs/API.md must document every ``repro.api`` export.
+
+The reference is hand-written (a deliberate choice: generated docs
+restate signatures, this one states contracts), so this test is the
+only thing keeping it honest: add an export without documenting it and
+CI fails here.
+"""
+
+import pathlib
+import re
+
+import repro.api
+
+DOC = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
+
+
+def test_every_api_export_is_documented():
+    text = DOC.read_text()
+    # A name counts as documented only as inline code (`Name`), the way
+    # the reference tables render every entry.
+    documented = set(re.findall(r"`([A-Za-z_][A-Za-z0-9_]*)`", text))
+    missing = sorted(set(repro.api.__all__) - documented)
+    assert not missing, (
+        f"docs/API.md is missing {len(missing)} repro.api export(s): "
+        f"{', '.join(missing)}"
+    )
+
+
+def test_docs_do_not_reference_removed_exports():
+    """Names documented as exports must actually exist on repro.api.
+
+    Only enforced for table rows (lines starting with '| `Name`'), so
+    prose may mention helper methods without tripping this.
+    """
+    stale = []
+    for line in DOC.read_text().splitlines():
+        match = re.match(r"\|\s*`([A-Za-z_][A-Za-z0-9_]*)`\s*\|", line)
+        if match and match.group(1) not in repro.api.__all__:
+            stale.append(match.group(1))
+    assert not stale, f"docs/API.md documents non-exports: {stale}"

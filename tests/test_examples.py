@@ -17,6 +17,7 @@ CASES = [
     ("reliable_counters.py", []),
     ("cluster_scaleout.py", []),
     ("server_failure.py", []),
+    ("chaos_recovery.py", []),
     ("sequencer_netchain.py", []),
     ("persistent_congestion_ecn.py", ["--duration-ms", "1.5"]),
 ]
