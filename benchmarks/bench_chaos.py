@@ -19,8 +19,12 @@ from repro.analysis.profiling import compare_records, load_report, write_report
 from repro.experiments.chaos import (
     CHAOS_SEED,
     LOSS_RATES,
+    assert_recovery,
     chaos_perf_record,
     format_chaos,
+    format_chaos_recovery,
+    recovery_perf_record,
+    run_chaos_recovery,
     run_chaos_sweep,
 )
 
@@ -53,6 +57,25 @@ def test_chaos_zero_loss_and_goodput(benchmark, paper_report):
         f"{row.loss_rate:g}": row.lost_updates for row in rows
     }
     _assert_acceptance(rows)
+
+
+def test_chaos_recovery_self_heals(benchmark, paper_report):
+    report = benchmark.pedantic(
+        run_chaos_recovery,
+        kwargs={"packets": 1500},
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_chaos_recovery(report))
+    benchmark.extra_info["lost_updates"] = report.lost_updates
+    benchmark.extra_info["lost_buffered"] = report.lost_buffered
+    benchmark.extra_info["goodput_degraded_per_ms"] = (
+        report.degraded_goodput_per_ms
+    )
+    benchmark.extra_info["goodput_healthy_per_ms"] = (
+        report.healthy_goodput_per_ms
+    )
+    assert_recovery(report)
 
 
 def test_chaos_sweep_is_deterministic(benchmark, paper_report):
@@ -119,7 +142,13 @@ def main(argv=None) -> int:
             seed=args.seed,
         )
     _assert_acceptance(rows)
+    with obs.activate():
+        recovery = run_chaos_recovery(
+            packets=1000 if args.quick else args.packets, seed=args.seed
+        )
+    assert_recovery(recovery)
     report = chaos_perf_record(rows, label=args.label)
+    report["results"]["recovery"] = recovery_perf_record(recovery).to_dict()
     if args.baseline and os.path.exists(args.baseline):
         baseline = load_report(args.baseline)
         report["baseline_label"] = baseline.get("label")
@@ -132,6 +161,13 @@ def main(argv=None) -> int:
         f"\n1% loss: {lossy.lost_updates} lost updates, "
         f"{lossy.link_drops} drops injected, "
         f"{lossy.naks} NAKs, seed={lossy.seed}"
+    )
+    print()
+    print(format_chaos_recovery(recovery))
+    print(
+        f"\nrecovery goodput: {recovery.degraded_goodput_per_ms:,.0f} upd/ms "
+        f"degraded vs {recovery.healthy_goodput_per_ms:,.0f} upd/ms healthy, "
+        f"{recovery.lost_updates} lost, seed={recovery.seed}"
     )
     print(f"wrote {args.output}")
     if args.metrics:

@@ -117,6 +117,13 @@ from .faults import (
     RnicFaultInjector,
 )
 
+# -- resilience (DESIGN.md §11) ---------------------------------------------
+from .resilience import (
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    SelfHealingChannel,
+)
+
 # -- cluster scale-out ------------------------------------------------------
 from .cluster.pool import MemoryPool, PoolMember
 from .cluster.health import HealthMonitor
@@ -208,6 +215,10 @@ __all__ = [
     "RnicDropBurst",
     "RnicFault",
     "RnicFaultInjector",
+    # resilience
+    "CircuitBreaker",
+    "CircuitBreakerConfig",
+    "SelfHealingChannel",
     # cluster
     "MemoryPool",
     "PoolMember",

@@ -17,7 +17,14 @@ from typing import Callable, Dict, List
 
 from .experiments import ablations
 from .experiments.baremetal import format_baremetal, run_baremetal_comparison
-from .experiments.chaos import LOSS_RATES, format_chaos, run_chaos_sweep
+from .experiments.chaos import (
+    LOSS_RATES,
+    assert_recovery,
+    format_chaos,
+    format_chaos_recovery,
+    run_chaos_recovery,
+    run_chaos_sweep,
+)
 from .experiments.fig3a import format_fig3a, run_fig3a
 from .experiments.fig3b import format_fig3b, run_fig3b
 from .experiments.incast import format_incast, run_incast_comparison
@@ -118,6 +125,10 @@ def _cmd_scaleout(args: argparse.Namespace) -> str:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> str:
+    if args.recover:
+        report = run_chaos_recovery(packets=args.packets, seed=args.seed)
+        assert_recovery(report)
+        return format_chaos_recovery(report)
     rates = tuple(args.loss) if args.loss else LOSS_RATES
     return format_chaos(
         run_chaos_sweep(
@@ -305,6 +316,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--unreliable",
         action="store_true",
         help="ablation: disable the reliable-mode recovery machinery",
+    )
+    p.add_argument(
+        "--recover",
+        action="store_true",
+        help=(
+            "self-healing scenario: blackout -> degrade -> reconnect -> "
+            "reconcile, asserting zero lost state and in-order drain"
+        ),
     )
     p.set_defaults(fn=_cmd_chaos)
 

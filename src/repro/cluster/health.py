@@ -85,40 +85,77 @@ class HealthMonitor:
                 scope.gauge("watched_channels", fn=lambda h=health: h.watched)
         return health
 
-    def watch(self, member: str, rocegen: RoceRequestGenerator) -> None:
+    def watch(
+        self, member: str, rocegen: RoceRequestGenerator
+    ) -> Callable[[], None]:
         """Subscribe to *rocegen*'s health events under *member*'s name.
 
         Chains any listener already installed so several monitors (or a
-        test probe) can observe the same channel.
+        test probe) can observe the same channel.  Returns an *unwatch*
+        callable that detaches the subscription; it is also registered on
+        the channel's ``teardown_callbacks`` so ``close_channel``
+        silences the watch automatically — a closed-then-reopened channel
+        must not keep striking its old member.
         """
-        self.track(member).watched += 1
+        health = self.track(member)
+        health.watched += 1
         previous = rocegen.health_listener
+        active = [True]
 
         def listen(gen: RoceRequestGenerator, event: str) -> None:
             if previous is not None:
                 previous(gen, event)
-            self.record(member, event)
+            if active[0]:
+                self.record(member, event)
+
+        def unwatch() -> None:
+            if not active[0]:
+                return
+            active[0] = False
+            health.watched -= 1
+            # Pop our link out of the chain when still the head; otherwise
+            # the active flag alone mutes us (the chain stays intact for
+            # listeners stacked after this one).
+            if rocegen.health_listener is listen:
+                rocegen.health_listener = previous
 
         rocegen.health_listener = listen
+        channel = getattr(rocegen, "channel", None)
+        if channel is not None:
+            channel.teardown_callbacks.append(unwatch)
+        return unwatch
 
-    def watch_requester(self, member: str, rnic) -> None:
+    def watch_requester(self, member: str, rnic) -> Callable[[], None]:
         """Subscribe to *rnic*'s retry-exhaustion verdicts under *member*.
 
         The requester-side complement of :meth:`watch`: when the RNIC's
         go-back-N machinery gives up on a QP (``max_retries`` fruitless
         timeout rounds — a silent peer, not a NAKing one), that terminal
         evidence lands here as a ``timeout`` event.  Chains any hook
-        already installed, like :meth:`watch` does.
+        already installed, like :meth:`watch` does, and returns the
+        matching *unwatch* callable.
         """
-        self.track(member).watched += 1
+        health = self.track(member)
+        health.watched += 1
         previous = rnic.on_retry_exhausted
+        active = [True]
 
         def escalate(qp) -> None:
             if previous is not None:
                 previous(qp)
-            self.record(member, "timeout")
+            if active[0]:
+                self.record(member, "timeout")
+
+        def unwatch() -> None:
+            if not active[0]:
+                return
+            active[0] = False
+            health.watched -= 1
+            if rnic.on_retry_exhausted is escalate:
+                rnic.on_retry_exhausted = previous
 
         rnic.on_retry_exhausted = escalate
+        return unwatch
 
     # -- event intake --------------------------------------------------------------
 

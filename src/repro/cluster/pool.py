@@ -186,9 +186,46 @@ class MemoryPool:
                 self.controller.close_channel(channel)
             member.channels.remove(channel)
 
-    def watch(self, member: PoolMember, rocegen: RoceRequestGenerator) -> None:
-        """Feed *rocegen*'s health events into the member's health record."""
-        self.health.watch(member.name, rocegen)
+    def watch(
+        self, member: PoolMember, rocegen: RoceRequestGenerator
+    ) -> Callable[[], None]:
+        """Feed *rocegen*'s health events into the member's health record.
+
+        Returns the monitor's *unwatch* callable (also fired by channel
+        teardown, so pool-driven close→reopen cycles never double-count).
+        """
+        return self.health.watch(member.name, rocegen)
+
+    def watch_requester(self, member: PoolMember, rnic) -> Callable[[], None]:
+        """Escalate *rnic*'s retry exhaustion straight to member failover.
+
+        Retry exhaustion is a terminal verdict — the RNIC already spent
+        its whole go-back-N budget on a silent peer — so the pool drains
+        the member immediately instead of waiting for ``fail_after``
+        strike events to accumulate on top of it.  The event still flows
+        through the monitor first (counters, snapshots), then the member
+        is marked down regardless of the strike threshold.
+        """
+        unwatch_monitor = self.health.watch_requester(member.name, rnic)
+        previous = rnic.on_retry_exhausted
+        active = [True]
+
+        def drain_now(qp) -> None:
+            if previous is not None:
+                previous(qp)
+            if active[0]:
+                self.health.mark_down(member.name)
+
+        def unwatch() -> None:
+            if not active[0]:
+                return
+            active[0] = False
+            if rnic.on_retry_exhausted is drain_now:
+                rnic.on_retry_exhausted = previous
+            unwatch_monitor()
+
+        rnic.on_retry_exhausted = drain_now
+        return unwatch
 
     # -- placement ----------------------------------------------------------------
 

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, List, Optional
 
 from ..hosts.server import MemoryServer
+from ..obs.trace import KIND_RECONNECT
 from ..rdma.memory import AccessFlags, MemoryRegion
 from ..rdma.qp import QueuePair
 from ..rdma.verbs import connect_qps
@@ -53,6 +54,12 @@ class RemoteMemoryChannel:
     region: MemoryRegion = field(repr=False, default=None)
     #: The memory server (control-plane handle, never used by primitives).
     server: MemoryServer = field(repr=False, default=None)
+    #: Fired (then cleared) by ``close_channel`` so event listeners bound
+    #: to this channel — HealthMonitor watches, breaker guards — detach on
+    #: teardown instead of double-counting a later reopen.
+    teardown_callbacks: List[Callable[[], None]] = field(
+        default_factory=list, repr=False
+    )
 
     @property
     def end_address(self) -> int:
@@ -75,6 +82,12 @@ class RdmaChannelController:
         # responses dispatch on dest_qp, which only needs uniqueness
         # within this controller's switch.
         self._switch_qpn = itertools.count(0x100)
+        obs = switch.sim.obs
+        self.metrics = obs.registry.unique_scope(
+            f"resilience.controller[{switch.name}]"
+        )
+        self._m_reconnects = self.metrics.counter("reconnects")
+        self._trace = obs.trace
 
     def open_channel(
         self,
@@ -161,9 +174,58 @@ class RdmaChannelController:
         if channel not in self.channels:
             raise ChannelError(f"channel {channel.name!r} is not open")
         self.channels.remove(channel)
+        callbacks, channel.teardown_callbacks = channel.teardown_callbacks, []
+        for callback in callbacks:
+            callback()
         channel.switch_qp.to_error()
         channel.server.rnic.destroy_qp(channel.server_qp)
         if not any(ch.region is channel.region for ch in self.channels):
             channel.server.dram.release(channel.region)
             if channel.region in channel.server.lent_regions:
                 channel.server.lent_regions.remove(channel.region)
+
+    def reconnect_channel(self, channel: RemoteMemoryChannel) -> None:
+        """Tear down and re-open the channel's QP pair on the same region.
+
+        The recovery half of §3: after retry exhaustion the old QPs are
+        unusable (stale PSN state, a responder that may be mid-outage),
+        but the registered memory — counters, buffered packets — must
+        survive.  Both QPs go to ERROR, the server-side QP is destroyed
+        (if its RNIC still knows it; a rebooted RNIC already forgot), and
+        a fresh pair is created and connected with new QPN/PSN state.
+
+        The channel descriptor is mutated **in place**: primitives hold
+        the :class:`RemoteMemoryChannel` object itself, so the fresh
+        ``(QPN, rkey, base)`` tuple is visible to the data plane the
+        moment this returns — the simulator analogue of the control
+        plane re-installing the channel registers.  Unacknowledged WRs
+        on the old QP are never silently replayed: requesters observe
+        them as error completions / timeouts and reconcile explicitly
+        (DESIGN.md §11).  Teardown callbacks do NOT fire — listeners stay
+        attached because it is still the same logical channel.
+        """
+        if channel not in self.channels:
+            raise ChannelError(f"channel {channel.name!r} is not open")
+        port_iface = self.switch.port_interface(channel.server_port)
+        channel.switch_qp.to_error()
+        old_server_qp = channel.server_qp
+        rnic = channel.server.rnic
+        if rnic.qps.get(old_server_qp.qpn) is old_server_qp:
+            rnic.destroy_qp(old_server_qp)
+        server_qp = rnic.create_qp()
+        switch_qp = QueuePair(
+            next(self._switch_qpn), port_iface.ip, port_iface.mac
+        )
+        connect_qps(switch_qp, server_qp)
+        channel.switch_qp = switch_qp
+        channel.server_qp = server_qp
+        self._m_reconnects.inc()
+        if self._trace is not None:
+            self._trace.emit(
+                self.switch.sim.now,
+                f"controller:{self.switch.name}",
+                switch_qp.qpn,
+                KIND_RECONNECT,
+                psn=switch_qp.qpn,
+                channel=channel.name,
+            )

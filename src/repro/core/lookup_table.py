@@ -173,9 +173,15 @@ class RemoteLookupTable:
         self._m_cache_evictions = self.metrics.counter("cache_evictions")
         self._m_recirc_passes = self.metrics.counter("recirculation_passes")
         self._m_lookups_lost = self.metrics.counter("lookups_lost")
+        self._m_degraded_hits = self.metrics.counter("degraded_hits")
+        self._m_degraded_defaults = self.metrics.counter("degraded_defaults")
         self._m_latency = self.metrics.histogram("remote_latency_ns")
         self.rocegen = RoceRequestGenerator(switch, channel)
         self.metrics.gauge("pending", fn=lambda: len(self._pending))
+        # Degraded mode (DESIGN.md §11): serve SRAM-cache hits and the
+        # default action instead of bouncing packets into a dead channel.
+        self._degraded = False
+        self.metrics.gauge("degraded", fn=lambda: int(self._degraded))
         self.cache: Optional[ExactMatchTable] = (
             ExactMatchTable("lookup.cache", self.config.cache_entries)
             if self.config.cache_entries > 0
@@ -258,16 +264,30 @@ class RemoteLookupTable:
             cached = self.cache.lookup(flow)
             if cached is not None:
                 self._m_local_hits.inc()
+                if self._degraded:
+                    self._m_degraded_hits.inc()
                 action = cached.params["remote_action"]
-                self._mutate(ctx, packet, action)
-                port = self.resolve_egress(packet, action)
-                if port is None or action.action_id == ACTION_DROP:
-                    ctx.drop()
-                else:
-                    ctx.forward(port)
+                self._apply(ctx, packet, action)
                 return True
+        if self._degraded:
+            # Breaker open: the remote table is unreachable, so a cache
+            # miss gets the default action instead of a bounce that would
+            # strand the packet in a dead channel.
+            self._m_degraded_defaults.inc()
+            self._apply(ctx, packet, self.default_action)
+            return True
         self._remote_lookup(ctx, packet, flow)
         return False
+
+    def _apply(
+        self, ctx: PipelineContext, packet: Packet, action: RemoteAction
+    ) -> None:
+        self._mutate(ctx, packet, action)
+        port = self.resolve_egress(packet, action)
+        if port is None or action.action_id == ACTION_DROP:
+            ctx.drop()
+        else:
+            ctx.forward(port)
 
     def _remote_lookup(
         self, ctx: PipelineContext, packet: Packet, flow: FiveTuple
@@ -381,6 +401,43 @@ class RemoteLookupTable:
         ) < (1 << 23):
             self._pending.pop()
             self._m_lookups_lost.inc()
+
+    # -- degraded mode & recovery (DESIGN.md §11) --------------------------------
+
+    def degrade(self, channel: Optional[RemoteMemoryChannel] = None) -> None:
+        """Enter degraded mode: cache hits and default action only.
+
+        In-flight bounced lookups are written off as lost — their packets
+        are stranded in the remote entry slots of a dead channel, the
+        same accounting §7 applies to RDMA drops.  (The packet *buffer*
+        recovers stranded contents because it owns its ring exclusively;
+        a lookup entry slot is overwritten by the next bounce, so replay
+        after an outage could emit a stale packet.)
+        """
+        if self._degraded:
+            return
+        self._degraded = True
+        while self._pending:
+            self._pending.popleft()
+            self._m_lookups_lost.inc()
+
+    def probe(self, channel: Optional[RemoteMemoryChannel] = None) -> None:
+        """Send one canary READ of entry 0 down the (possibly fresh) QP.
+
+        Not registered in ``_pending``: the response's unknown PSN makes
+        :meth:`try_handle` treat it as stale after reporting progress —
+        exactly what the breaker needs.
+        """
+        self.rocegen.read(self.entry_address(0), ACTION_BYTES)
+
+    def recover(self, channel: Optional[RemoteMemoryChannel] = None) -> None:
+        """Leave degraded mode: misses bounce remotely again.
+
+        No reconciliation is needed — the remote table is control-plane
+        state that survived the outage untouched, and the cache stayed
+        warm the whole time.
+        """
+        self._degraded = False
 
     def _cache_fill(self, flow: FiveTuple, action: RemoteAction) -> None:
         assert self.cache is not None

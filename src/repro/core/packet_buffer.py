@@ -183,7 +183,18 @@ class RemotePacketBuffer:
         self._m_channels_failed = self.metrics.counter("channels_failed")
         self._m_lost_to_failover = self.metrics.counter("lost_to_failover")
         self._m_ecn_marked = self.metrics.counter("ecn_marked")
+        self._m_degraded_passthrough = self.metrics.counter(
+            "degraded_passthrough"
+        )
         self.metrics.gauge("stored_entries", fn=lambda: self.stored_entries)
+        # Degraded mode (DESIGN.md §11): channels whose breaker is open.
+        # While any are degraded the buffer stops diverting (new packets
+        # pass straight through) and the load path stands down; recovery
+        # drains the stranded ring contents in pointer order.
+        self._degraded_channels: set = set()
+        self.metrics.gauge(
+            "degraded_channels", fn=lambda: len(self._degraded_channels)
+        )
         self.rocegens = [
             RoceRequestGenerator(switch, channel) for channel in self.channels
         ]
@@ -462,6 +473,7 @@ class RemotePacketBuffer:
             i for i in range(len(self.channels))
             if i not in self._failed_channels
             and i not in self._draining_channels
+            and i not in self._degraded_channels
         ]
 
     def _assign_channel(self) -> Optional[int]:
@@ -484,6 +496,13 @@ class RemotePacketBuffer:
         self, port: int, packet: Packet, queue: PortQueue
     ) -> HookVerdict:
         if port != self.protected_port:
+            return HookVerdict.PASS
+        if self._degraded_channels:
+            # Breaker open: stop diverting — a store into a dead channel
+            # strands the packet.  Passing through trades order for
+            # delivery; the trade-off is documented in DESIGN.md §11.
+            if self.is_buffering:
+                self._m_degraded_passthrough.inc()
             return HookVerdict.PASS
         if not self.is_buffering:
             if (
@@ -569,6 +588,8 @@ class RemotePacketBuffer:
     def _maybe_start_loading(self, queue: PortQueue) -> None:
         if self._loading:
             return
+        if self._degraded_channels:
+            return  # load path stands down until the breaker re-closes
         if not self.is_buffering:
             return
         if self.config.manual_load and not self._manual_drain_started:
@@ -635,6 +656,10 @@ class RemotePacketBuffer:
 
     def _watchdog(self) -> None:
         self._watchdog_armed = False
+        if self._degraded_channels:
+            # The breaker already judged the channel; recovery restarts
+            # the chain explicitly, so keep the watchdog out of it.
+            return
         if self._outstanding_reads == 0:
             return
         if self._regs.read(_READ_PTR) != self._watchdog_snapshot:
@@ -685,6 +710,78 @@ class RemotePacketBuffer:
         self._draining_channels.discard(idx)
         self._inflight[idx].clear()
         self._m_channels_failed.inc()
+
+    # -- degraded mode & recovery (DESIGN.md §11) --------------------------------
+
+    def _channel_index(self, channel: Optional[RemoteMemoryChannel]) -> int:
+        if channel is None:
+            if len(self.channels) == 1:
+                return 0
+            raise ValueError("multiple channels; pass the affected one")
+        for i, ch in enumerate(self.channels):
+            if ch is channel:
+                return i
+        for i, ch in enumerate(self.read_channels):
+            if ch is channel:
+                return i
+        raise ValueError(f"channel {channel.name!r} is not striped here")
+
+    def degrade(self, channel: Optional[RemoteMemoryChannel] = None) -> None:
+        """Enter degraded mode for *channel*: stop diverting, park the ring.
+
+        Unlike failover, nothing is written off: the stranded entries stay
+        accounted against their slots and :meth:`recover` drains them via
+        RDMA READ once the breaker re-closes.  In-flight READs are
+        abandoned without striking (the breaker already consumed that
+        evidence).
+        """
+        idx = self._channel_index(channel)
+        if idx in self._degraded_channels:
+            return
+        self._degraded_channels.add(idx)
+        self._outstanding_reads = max(
+            0, self._outstanding_reads - len(self._inflight[idx])
+        )
+        self._inflight[idx].clear()
+
+    def probe(self, channel: Optional[RemoteMemoryChannel] = None) -> None:
+        """Send one canary READ of the ring's first stamp word.
+
+        Rides the channel's read QP so the response flows back through
+        :meth:`try_handle`; with the in-flight queue empty the head-PSN
+        match fails and :meth:`_complete_load` discards it as stale —
+        after the generator reported it as progress to the breaker.
+        """
+        idx = self._channel_index(channel)
+        self.read_rocegens[idx].read(
+            self.channels[idx].base_address, ENTRY_SEQ_BYTES
+        )
+
+    def recover(self, channel: Optional[RemoteMemoryChannel] = None) -> None:
+        """Leave degraded mode; drain stranded ring contents in order.
+
+        Once the last degraded channel recovers, the read chain restarts
+        from the committed read pointer — the same go-back-N restart the
+        watchdog uses — so every entry stranded during the outage is
+        fetched via RDMA READ and released through the reorder stage in
+        ring-pointer order (zero dropped buffered packets, order
+        preserved among themselves).
+        """
+        idx = self._channel_index(channel)
+        self._degraded_channels.discard(idx)
+        if self._degraded_channels:
+            return
+        if self.stored_entries > 0 or self._reorder:
+            self._outstanding_reads = 0
+            for inflight in self._inflight:
+                inflight.clear()
+            self._regs.write(_NEXT_LOAD_PTR, self._regs.read(_READ_PTR))
+            self._maybe_start_loading(
+                self.switch.port_queue(self.protected_port)
+            )
+            self._drain_reorder()
+        elif self.is_buffering:
+            self._regs.write(_BUFFERING, 0)
 
     # -- response handling -----------------------------------------------------------
 

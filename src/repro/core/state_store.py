@@ -114,10 +114,15 @@ class RemoteStateStore:
         self._m_value = self.metrics.counter("value_issued")
         self._m_retx = self.metrics.counter("retransmissions")
         self._m_requeued = self.metrics.counter("requeued_after_nak")
+        self._m_degraded_updates = self.metrics.counter("degraded_updates")
+        self._m_reconcile_reads = self.metrics.counter("reconcile_reads")
+        self._m_reconciled_applied = self.metrics.counter("reconciled_applied")
+        self._m_reconciled_reissued = self.metrics.counter("reconciled_reissued")
         self.rocegen = RoceRequestGenerator(switch, channel)
         self._regs = RegisterArray("statestore", 1, width_bits=16)
         self.metrics.gauge("outstanding", fn=lambda: self._regs.read(_OUTSTANDING))
         self.metrics.gauge("pending_value", fn=lambda: sum(self._accumulators.values()))
+        self.metrics.gauge("degraded", fn=lambda: int(self._degraded))
         # Pending (not yet issued) accumulated values by counter index.
         # On hardware this is a register array indexed by counter index;
         # FIFO order keeps flushing fair.
@@ -128,6 +133,21 @@ class RemoteStateStore:
         self._retry_armed = False
         self._retry_snapshot: Optional[int] = None
         self._closed = False
+        # Degraded mode (DESIGN.md §11): while the channel's breaker is
+        # open the store accumulates locally and never drives the wire.
+        self._degraded = False
+        # Ops that were in flight when the channel degraded: their fate is
+        # unknown (executed with a lost ACK, or never delivered) until the
+        # post-recovery reconcile reads the remote counters.
+        self._suspended_ops: "OrderedDict[int, tuple]" = OrderedDict()
+        # Reliable mode: per-index value definitely applied remotely (every
+        # acked op adds here) — the reference point the reconcile compares
+        # remote counter values against for exactly-once recovery.
+        self._committed: Dict[int, int] = {}
+        # Outstanding reconcile READs: psn -> counter index.
+        self._reconcile_reads: Dict[int, int] = {}
+        # Suspended value per index awaiting its reconcile READ.
+        self._reconcile_value: Dict[int, int] = {}
 
     @property
     def stats(self) -> StateStoreStats:
@@ -196,6 +216,14 @@ class RemoteStateStore:
         if not 0 <= index < self.config.counters:
             raise IndexError(f"counter index {index} out of range")
         pending = self._accumulators.get(index, 0) + value
+        if self._degraded:
+            # Breaker open: the channel is dead, so every update
+            # accumulates locally; recovery flushes the backlog.
+            self._accumulators[index] = pending
+            self._m_degraded_updates.inc()
+            if pending > value:
+                self._m_combined.inc()
+            return
         # Batch readiness uses the magnitude so negative (Count Sketch)
         # deltas flush too; a zero net change needs no operation at all.
         if (
@@ -232,6 +260,12 @@ class RemoteStateStore:
             return False
         ctx.drop()
         opcode = self.rocegen.classify_response(packet)
+        if opcode == Opcode.RDMA_READ_RESPONSE_ONLY:
+            # Reconcile READ after a recovery (or a breaker probe, whose
+            # PSN matches nothing and is ignored here — classify_response
+            # already reported it as progress).
+            self._complete_reconcile(packet)
+            return True
         if opcode not in (Opcode.ATOMIC_ACKNOWLEDGE, Opcode.ACKNOWLEDGE):
             return True
         if self.rocegen.is_nak(packet):
@@ -268,7 +302,8 @@ class RemoteStateStore:
             if psn_distance(p, psn) < (1 << 23)
         ]
         for p in retired:
-            del self._inflight_ops[p]
+            index, value = self._inflight_ops.pop(p)
+            self._committed[index] = self._committed.get(index, 0) + value
         self._regs.write(_OUTSTANDING, len(self._inflight_ops))
 
     def _handle_nak_reliable(self, packet: Packet) -> None:
@@ -285,7 +320,8 @@ class RemoteStateStore:
             if psn_distance(expected, p) >= (1 << 23):
                 # p < expected: already executed; its response may have
                 # been lost, but the count is safely applied.
-                del self._inflight_ops[p]
+                index, value = self._inflight_ops.pop(p)
+                self._committed[index] = self._committed.get(index, 0) + value
         for p, (index, value) in self._inflight_ops.items():
             self.rocegen.fetch_add(
                 self.counter_address(index), value % (1 << 64), psn=p
@@ -294,7 +330,7 @@ class RemoteStateStore:
         self._regs.write(_OUTSTANDING, len(self._inflight_ops))
 
     def _arm_retry(self) -> None:
-        if self._retry_armed or self._closed:
+        if self._retry_armed or self._closed or self._degraded:
             return
         self._retry_armed = True
         self._retry_snapshot = next(iter(self._inflight_ops), None)
@@ -302,7 +338,7 @@ class RemoteStateStore:
 
     def _retry_check(self) -> None:
         self._retry_armed = False
-        if not self._inflight_ops:
+        if self._degraded or not self._inflight_ops:
             return
         head = next(iter(self._inflight_ops))
         if head != self._retry_snapshot:
@@ -330,6 +366,8 @@ class RemoteStateStore:
         (§7's "at the cost of some delay in updates").  Operators drain
         leftovers with :meth:`flush_all`.
         """
+        if self._degraded:
+            return
         while self._regs.read(_OUTSTANDING) < self.config.max_outstanding:
             ready = next(
                 (
@@ -348,14 +386,105 @@ class RemoteStateStore:
 
         Values beyond the outstanding window stay pending and drain as
         acknowledgements return; call again (or keep the sim running) to
-        complete the drain.
+        complete the drain.  A no-op while degraded: the backlog flushes
+        on :meth:`recover` instead.
         """
+        if self._degraded:
+            return
         while (
             self._accumulators
             and self._regs.read(_OUTSTANDING) < self.config.max_outstanding
         ):
             index, value = self._accumulators.popitem(last=False)
             self._issue(index, value)
+
+    # -- degraded mode & recovery (DESIGN.md §11) --------------------------------
+
+    def degrade(self, channel: Optional[RemoteMemoryChannel] = None) -> None:
+        """Enter degraded mode: accumulate locally, stop driving the wire.
+
+        Called by the channel's breaker guard when it opens.  In-flight
+        operations are *suspended*, not abandoned: whether each executed
+        (ACK lost in the outage) or never arrived is unknowable until
+        :meth:`recover` reads the remote counters back.  The watchdog
+        stands down — retransmitting into a dead channel only burns the
+        health budget the breaker already spent.
+        """
+        if self._degraded:
+            return
+        self._degraded = True
+        self._suspended_ops.update(self._inflight_ops)
+        self._inflight_ops.clear()
+        self._regs.write(_OUTSTANDING, 0)
+
+    def probe(self, channel: Optional[RemoteMemoryChannel] = None) -> None:
+        """Send one canary READ down the (possibly fresh) QP.
+
+        Rides this store's own request generator, so the response returns
+        through :meth:`try_handle` and reaches the breaker as progress.
+        The READ is deliberately not registered anywhere: an unknown-PSN
+        response is ignored by the reconcile path.
+        """
+        self.rocegen.read(self.counter_address(0), ATOMIC_OPERAND_BYTES)
+
+    def recover(self, channel: Optional[RemoteMemoryChannel] = None) -> None:
+        """Leave degraded mode and flush the backlog with zero lost updates.
+
+        Reliable mode first *reconciles* every suspended operation: one
+        RDMA READ per touched counter compares the remote value against
+        the committed total, deciding exactly how much of the suspended
+        value already landed (the QP reconnect discarded the old replay
+        cache, so blind re-issue could double-apply).  The backlog —
+        degraded-mode accumulators plus whatever the reconcile found
+        missing — then drains through the normal Fetch-and-Add window.
+        """
+        if not self._degraded:
+            return
+        self._degraded = False
+        if self.config.reliable and self._suspended_ops:
+            self._start_reconcile()
+        else:
+            self._suspended_ops.clear()
+            self.flush_all()
+
+    def _start_reconcile(self) -> None:
+        suspended: Dict[int, int] = {}
+        for index, value in self._suspended_ops.values():
+            suspended[index] = suspended.get(index, 0) + value
+        self._suspended_ops.clear()
+        for index in suspended:
+            self._reconcile_value[index] = (
+                self._reconcile_value.get(index, 0) + suspended[index]
+            )
+            request = self.rocegen.read(
+                self.counter_address(index), ATOMIC_OPERAND_BYTES
+            )
+            self._reconcile_reads[request.require(BthHeader).psn] = index
+            self._m_reconcile_reads.inc()
+
+    def _complete_reconcile(self, packet: Packet) -> None:
+        psn = packet.require(BthHeader).psn
+        index = self._reconcile_reads.pop(psn, None)
+        if index is None:
+            return  # breaker probe or stale READ — nothing to reconcile
+        remote = int.from_bytes(packet.payload[:ATOMIC_OPERAND_BYTES], "big")
+        committed = self._committed.get(index, 0)
+        suspended = self._reconcile_value.pop(index, 0)
+        # remote = committed + (whatever fraction of the suspended value
+        # executed before the outage).  The clamp keeps a concurrent
+        # writer or wrap-around from ever reissuing more than we
+        # suspended or crediting more than we observed.
+        applied = max(0, min(remote - committed, suspended))
+        self._committed[index] = committed + applied
+        self._m_reconciled_applied.inc(applied)
+        missing = suspended - applied
+        if missing:
+            self._m_reconciled_reissued.inc(missing)
+            self._accumulators[index] = (
+                self._accumulators.get(index, 0) + missing
+            )
+        if not self._reconcile_reads:
+            self.flush_all()
 
     def close(self) -> None:
         """Stop driving the channel (its member failed or left the pool).
@@ -367,6 +496,9 @@ class RemoteStateStore:
         self._closed = True
         self._inflight_ops.clear()
         self._accumulators.clear()
+        self._suspended_ops.clear()
+        self._reconcile_reads.clear()
+        self._reconcile_value.clear()
         self._regs.write(_OUTSTANDING, 0)
 
     # -- introspection ------------------------------------------------------------------

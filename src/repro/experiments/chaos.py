@@ -27,13 +27,21 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.reporting import format_table
-from ..apps.programs import CountingProgram
+from ..apps.programs import CountingProgram, RemoteBufferProgram
+from ..core.packet_buffer import (
+    ENTRY_SEQ_BYTES,
+    PacketBufferConfig,
+    RemotePacketBuffer,
+)
 from ..core.state_store import RemoteStateStore, StateStoreConfig
-from ..faults import FaultPlan, IidLoss
+from ..faults import Blackout, FaultPlan, IidLoss
 from ..net.headers import UdpHeader
 from ..rdma.constants import ATOMIC_OPERAND_BYTES
+from ..resilience import CircuitBreakerConfig, SelfHealingChannel
+from ..sim.rng import SeedSequence
+from ..sim.units import usec
 from ..switches.hashing import FiveTuple
-from ..workloads.perftest import RawEthernetBw
+from ..workloads.perftest import PacketSink, RawEthernetBw
 from .topology import build_testbed
 
 #: Root seed for every chaos run; one number pins the whole timeline.
@@ -230,6 +238,402 @@ def format_chaos(rows: Sequence[ChaosRow]) -> str:
             f"(i.i.d. loss both directions, seed={rows[0].seed if rows else '-'})"
         ),
     )
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of the blackout → degrade → reconnect → reconcile scenario.
+
+    Phase A drives the reliable state store through a blackout longer
+    than its retry machinery tolerates; Phase B strands a full remote
+    packet-buffer ring behind the same kind of outage and drains it
+    after reconnect.  Both phases run under one seed and must land on
+    *exact* totals.
+    """
+
+    seed: int
+    # -- phase A: state store ------------------------------------------------
+    packets_sent: int
+    expected_total: int
+    recovered_total: int
+    counters_wrong: int
+    degraded_updates: int
+    reconcile_reads: int
+    reconciled_reissued: int
+    store_breaker_opens: int
+    store_breaker_closes: int
+    store_probe_failures: int
+    store_reconnects: int
+    store_degraded_ns: float
+    store_duration_ms: float
+    # -- phase B: packet buffer ----------------------------------------------
+    buffered_packets: int
+    delivered_packets: int
+    out_of_order: int
+    lost_in_transit: int
+    lost_to_failover: int
+    buffer_breaker_opens: int
+    buffer_breaker_closes: int
+    buffer_probe_failures: int
+    buffer_reconnects: int
+    buffer_degraded_ns: float
+    buffer_duration_ms: float
+
+    @property
+    def lost_updates(self) -> int:
+        return self.expected_total - self.recovered_total
+
+    @property
+    def lost_buffered(self) -> int:
+        return self.buffered_packets - self.delivered_packets
+
+    @property
+    def degraded_ms(self) -> float:
+        return self.store_degraded_ns / 1e6
+
+    @property
+    def degraded_goodput_per_ms(self) -> float:
+        """Updates absorbed per ms while the store breaker was open."""
+        if self.degraded_ms <= 0:
+            return 0.0
+        return self.degraded_updates / self.degraded_ms
+
+    @property
+    def healthy_goodput_per_ms(self) -> float:
+        """Updates per ms over the healthy remainder of the run."""
+        healthy_ms = self.store_duration_ms - self.degraded_ms
+        if healthy_ms <= 0:
+            return 0.0
+        return (self.expected_total - self.degraded_updates) / healthy_ms
+
+
+def _recovery_breaker_config() -> CircuitBreakerConfig:
+    """Pacing tuned to the scenario's 50 µs retry/read watchdogs."""
+    return CircuitBreakerConfig(
+        fail_threshold=3,
+        close_threshold=1,
+        open_timeout_ns=usec(100),
+        probe_timeout_ns=usec(60),
+        probe_jitter_ns=usec(10),
+        backoff=2.0,
+    )
+
+
+def run_chaos_recovery(
+    packets: int = 2000,
+    flows: int = 16,
+    counters: int = 1 << 12,
+    seed: int = CHAOS_SEED,
+    blackout_start_ns: float = usec(300),
+    blackout_ns: float = usec(400),
+) -> RecoveryReport:
+    """Blackout → degrade → reconnect → reconcile, at one fixed seed.
+
+    **Phase A** counts a fixed schedule into a reliable state store while
+    the server link blacks out for *blackout_ns* — far longer than the
+    50 µs retry window, so every in-flight Fetch-and-Add stalls.  The
+    channel's breaker must open (degraded accumulation), fail at least
+    one half-open probe (the blackout outlives the first reopen window),
+    then reconnect and reconcile to **exact** per-counter totals.
+
+    **Phase B** stores a burst into a remote packet-buffer ring, blacks
+    the link out as draining starts, and requires every stranded entry to
+    be delivered in order after the breaker re-closes: zero dropped
+    buffered packets.
+    """
+    seeds = SeedSequence(seed)
+
+    # ---- phase A: state store under blackout -------------------------------
+    tb = build_testbed(n_hosts=2, with_memory_server=True)
+    program = CountingProgram()
+    for host, port in zip(tb.hosts, tb.host_ports):
+        program.install(host.eth.mac, port)
+    tb.switch.bind_program(program)
+    channel = tb.controller.open_channel(
+        tb.memory_server, tb.server_port, counters * ATOMIC_OPERAND_BYTES
+    )
+    store = RemoteStateStore(
+        tb.switch,
+        channel,
+        config=StateStoreConfig(
+            counters=counters, reliable=True, retry_timeout_ns=usec(50)
+        ),
+    )
+    program.use_state_store(store)
+    guard = SelfHealingChannel(
+        tb.controller,
+        channel,
+        store,
+        config=_recovery_breaker_config(),
+        rng=seeds.stream("breaker[store]"),
+    )
+
+    plan = FaultPlan(seed=seed)
+    plan.at(
+        blackout_start_ns,
+        plan.on_link(tb.server_link, name="server-link"),
+        Blackout(),
+        duration_ns=blackout_ns,
+    )
+    plan.install(tb.sim)
+
+    src, dst = tb.hosts
+    expected: Dict[int, int] = {}
+    for seq in range(packets):
+        flow = FiveTuple(
+            src_ip=src.eth.ip.value,
+            dst_ip=dst.eth.ip.value,
+            protocol=17,
+            src_port=_BASE_SRC_PORT + (seq % flows),
+            dst_port=_DST_PORT,
+        )
+        expected_index = flow.hash() % counters
+        expected[expected_index] = expected.get(expected_index, 0) + 1
+
+    def stamp(packet, seq) -> None:
+        packet.require(UdpHeader).src_port = _BASE_SRC_PORT + (seq % flows)
+
+    sender = RawEthernetBw(
+        tb.sim,
+        src,
+        dst,
+        packet_size=128,
+        rate_bps=1e9,
+        count=packets,
+        dst_port=_DST_PORT,
+        stamp=stamp,
+    )
+    sender.start()
+    tb.sim.run()
+    for _ in range(64):
+        if store.pending_value == 0 and store.outstanding == 0:
+            break
+        store.flush_all()
+        tb.sim.run()
+
+    recovered = {
+        index: store.read_counter_via_control_plane(index)
+        for index in expected
+    }
+    store_duration_ms = tb.sim.now / 1e6
+    store_breaker = guard.breaker
+
+    # ---- phase B: packet buffer ring stranded behind a blackout ------------
+    tb2 = build_testbed(n_hosts=2, with_memory_server=True)
+    buf_program = RemoteBufferProgram()
+    for host, port in zip(tb2.hosts, tb2.host_ports):
+        buf_program.install(host.eth.mac, port)
+    tb2.switch.bind_program(buf_program)
+    frame_bytes = 128
+    entry_bytes = frame_bytes + ENTRY_SEQ_BYTES
+    buf_packets = max(64, packets // 8)
+    buf_channel = tb2.controller.open_channel(
+        tb2.memory_server, tb2.server_port, (buf_packets + 16) * entry_bytes
+    )
+    primitive = RemotePacketBuffer(
+        tb2.switch,
+        buf_channel,
+        protected_port=tb2.host_ports[1],
+        config=PacketBufferConfig(
+            entry_bytes=entry_bytes,
+            high_watermark_bytes=0,  # store the whole burst
+            low_watermark_bytes=1 << 30,
+            manual_load=True,
+            max_outstanding_reads=4,
+            read_timeout_ns=usec(50),
+        ),
+    )
+    buf_program.use_packet_buffer(primitive)
+    buf_guard = SelfHealingChannel(
+        tb2.controller,
+        buf_channel,
+        primitive,
+        config=_recovery_breaker_config(),
+        rng=seeds.stream("breaker[pktbuf]"),
+    )
+
+    sink = PacketSink(tb2.hosts[1], dst_port=_DST_PORT)
+    gen = RawEthernetBw(
+        tb2.sim,
+        tb2.hosts[0],
+        tb2.hosts[1],
+        packet_size=frame_bytes,
+        rate_bps=1e9,
+        count=buf_packets,
+        dst_port=_DST_PORT,
+    )
+    gen.start()
+    tb2.sim.run()  # store phase: the whole burst lands in the remote ring
+    buffered = primitive.stats.stored_packets
+
+    # Black the link out exactly as draining starts: the read chain
+    # stalls, the breaker opens, and the ring is stranded until the
+    # post-blackout probe succeeds.
+    drain_plan = FaultPlan(seed=seed + 1)
+    drain_plan.at(
+        tb2.sim.now,
+        drain_plan.on_link(tb2.server_link, name="server-link"),
+        Blackout(),
+        duration_ns=blackout_ns,
+    )
+    drain_plan.install(tb2.sim)
+    primitive.start_draining()
+    tb2.sim.run()
+
+    _publish_recovery_metrics(
+        tb.sim.obs.registry,
+        expected_total=sum(expected.values()),
+        recovered_total=sum(recovered.values()),
+        buffered=buffered,
+        delivered=sink.packets,
+    )
+    return RecoveryReport(
+        seed=seed,
+        packets_sent=packets,
+        expected_total=sum(expected.values()),
+        recovered_total=sum(recovered.values()),
+        counters_wrong=sum(
+            1 for index, value in expected.items() if recovered[index] != value
+        ),
+        degraded_updates=store.metrics.counter("degraded_updates").value,
+        reconcile_reads=store.metrics.counter("reconcile_reads").value,
+        reconciled_reissued=store.metrics.counter("reconciled_reissued").value,
+        store_breaker_opens=store_breaker.opens,
+        store_breaker_closes=store_breaker.closes,
+        store_probe_failures=store_breaker.probe_failures,
+        store_reconnects=guard.reconnects,
+        store_degraded_ns=store_breaker.degraded_ns,
+        store_duration_ms=store_duration_ms,
+        buffered_packets=buffered,
+        delivered_packets=sink.packets,
+        out_of_order=sink.out_of_order,
+        lost_in_transit=primitive.stats.lost_in_transit,
+        lost_to_failover=primitive.stats.lost_to_failover,
+        buffer_breaker_opens=buf_guard.breaker.opens,
+        buffer_breaker_closes=buf_guard.breaker.closes,
+        buffer_probe_failures=buf_guard.breaker.probe_failures,
+        buffer_reconnects=buf_guard.reconnects,
+        buffer_degraded_ns=buf_guard.breaker.degraded_ns,
+        buffer_duration_ms=tb2.sim.now / 1e6,
+    )
+
+
+def _publish_recovery_metrics(
+    registry, expected_total: int, recovered_total: int,
+    buffered: int, delivered: int,
+) -> None:
+    """Surface the acceptance numbers under ``chaos.recovery`` so a CI
+    metrics artifact can assert on them without re-parsing stdout."""
+    scope = registry.unique_scope("chaos.recovery")
+    scope.counter("expected_total").inc(expected_total)
+    scope.counter("recovered_total").inc(recovered_total)
+    scope.counter("lost_updates").inc(expected_total - recovered_total)
+    scope.counter("buffered_packets").inc(buffered)
+    scope.counter("delivered_packets").inc(delivered)
+    scope.counter("lost_buffered").inc(buffered - delivered)
+
+
+def assert_recovery(report: RecoveryReport) -> None:
+    """The acceptance bar for the self-healing scenario."""
+    if report.lost_updates != 0 or report.counters_wrong != 0:
+        raise AssertionError(
+            f"lost {report.lost_updates} updates, "
+            f"{report.counters_wrong} counters wrong"
+        )
+    if report.lost_buffered != 0 or report.out_of_order != 0:
+        raise AssertionError(
+            f"buffer lost {report.lost_buffered} packets, "
+            f"{report.out_of_order} out of order"
+        )
+    if report.store_breaker_opens == 0 or report.buffer_breaker_opens == 0:
+        raise AssertionError("a breaker never opened — no outage exercised")
+    if (
+        report.store_breaker_closes == 0
+        or report.buffer_breaker_closes == 0
+    ):
+        raise AssertionError("a breaker never re-closed after the outage")
+    if report.store_probe_failures == 0:
+        raise AssertionError(
+            "the blackout should outlive the first half-open probe"
+        )
+
+
+def format_chaos_recovery(report: RecoveryReport) -> str:
+    rows = [
+        ["state store: expected / recovered",
+         f"{report.expected_total} / {report.recovered_total}"],
+        ["state store: lost / wrong counters",
+         f"{report.lost_updates} / {report.counters_wrong}"],
+        ["state store: degraded updates (local)",
+         f"{report.degraded_updates}"],
+        ["state store: reconcile READs / reissued value",
+         f"{report.reconcile_reads} / {report.reconciled_reissued}"],
+        ["store breaker: opens / probe fails / closes",
+         f"{report.store_breaker_opens} / {report.store_probe_failures} / "
+         f"{report.store_breaker_closes}"],
+        ["store: QP reconnects", f"{report.store_reconnects}"],
+        ["store: degraded time (ms)", f"{report.degraded_ms:.3f}"],
+        ["store: goodput degraded vs healthy (upd/ms)",
+         f"{report.degraded_goodput_per_ms:,.0f} vs "
+         f"{report.healthy_goodput_per_ms:,.0f}"],
+        ["pkt buffer: buffered / delivered / out-of-order",
+         f"{report.buffered_packets} / {report.delivered_packets} / "
+         f"{report.out_of_order}"],
+        ["pkt buffer: lost in transit / to failover",
+         f"{report.lost_in_transit} / {report.lost_to_failover}"],
+        ["buffer breaker: opens / probe fails / closes",
+         f"{report.buffer_breaker_opens} / {report.buffer_probe_failures} / "
+         f"{report.buffer_breaker_closes}"],
+        ["buffer: QP reconnects", f"{report.buffer_reconnects}"],
+        ["buffer: degraded time (ms)",
+         f"{report.buffer_degraded_ns / 1e6:.3f}"],
+    ]
+    return format_table(
+        ["self-healing recovery", "value"],
+        rows,
+        title=(
+            "Chaos recovery — blackout → degrade → reconnect → reconcile "
+            f"(seed={report.seed})"
+        ),
+    )
+
+
+def recovery_perf_record(report: RecoveryReport):
+    """The self-healing scenario as one ``PerfRecord`` (rides BENCH_chaos).
+
+    The headline extra is the degraded-vs-healthy goodput pair: updates
+    absorbed per ms while the breaker was open versus the healthy
+    remainder of the run — the cost of an outage under self-healing.
+    """
+    from ..analysis.profiling import PerfRecord
+
+    record = PerfRecord(
+        label="recovery",
+        wall_s=(report.store_duration_ms + report.buffer_duration_ms) / 1e3,
+        events=report.packets_sent + report.buffered_packets,
+    )
+    record.extra.update(
+        {
+            "seed": report.seed,
+            "expected_total": report.expected_total,
+            "recovered_total": report.recovered_total,
+            "lost_updates": report.lost_updates,
+            "counters_wrong": report.counters_wrong,
+            "degraded_updates": report.degraded_updates,
+            "degraded_ms": report.degraded_ms,
+            "goodput_degraded_per_ms": report.degraded_goodput_per_ms,
+            "goodput_healthy_per_ms": report.healthy_goodput_per_ms,
+            "store_breaker_opens": report.store_breaker_opens,
+            "store_probe_failures": report.store_probe_failures,
+            "store_reconnects": report.store_reconnects,
+            "buffered_packets": report.buffered_packets,
+            "delivered_packets": report.delivered_packets,
+            "lost_buffered": report.lost_buffered,
+            "out_of_order": report.out_of_order,
+            "buffer_reconnects": report.buffer_reconnects,
+        }
+    )
+    return record
 
 
 def chaos_perf_record(rows: Sequence[ChaosRow], label: str = "chaos"):

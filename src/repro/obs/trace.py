@@ -40,6 +40,12 @@ KIND_ATOMIC_ACK = "ATOMIC_ACK"
 KIND_RETX = "RETX"
 #: An injected fault or integrity drop; ``channel`` names the effect.
 KIND_FAULT = "FAULT"
+#: A circuit-breaker state transition (see DESIGN.md §11); ``channel``
+#: carries ``"<old>-><new>"`` (e.g. ``"closed->open"``).
+KIND_BREAKER = "BREAKER"
+#: A control-plane QP reconnect on a live channel; ``channel`` names the
+#: channel and ``psn`` carries the fresh switch-side QPN.
+KIND_RECONNECT = "RECONNECT"
 
 
 @dataclass

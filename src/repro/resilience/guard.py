@@ -1,0 +1,156 @@
+"""SelfHealingChannel: one breaker wired to one channel and its primitive.
+
+The :class:`~repro.resilience.breaker.CircuitBreaker` is pure policy —
+it decides *when* a channel is dead and when to probe.  This module is
+the glue that makes the decision actionable:
+
+* breaker **opens** → the primitive enters its degraded mode
+  (``primitive.degrade(channel)``): lookup serves cache + default
+  action, state store accumulates locally, packet buffer passes
+  traffic through.
+* breaker goes **half-open** → the controller reconnects the QP pair
+  (fresh QPN/PSN on the same region) and the primitive sends one probe
+  op (``primitive.probe(channel)``) down the fresh QP.  The probe rides
+  the primitive's own request generator, so its response flows back
+  through the normal ``try_handle`` path and lands in the breaker as a
+  ``progress`` event.
+* breaker **closes** → the primitive reconciles and exits degraded mode
+  (``primitive.recover(channel)``): the store reconciles suspended ops
+  and flushes its backlog, the buffer drains the stranded ring.
+
+All three primitives implement the same small protocol —
+``degrade(channel)`` / ``probe(channel)`` / ``recover(channel)`` — so
+the guard is primitive-agnostic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.channel import RdmaChannelController, RemoteMemoryChannel
+from ..core.rocegen import RoceRequestGenerator
+from .breaker import CircuitBreaker, CircuitBreakerConfig
+
+
+class SelfHealingChannel:
+    """Attach self-healing (breaker + reconnect + degraded mode) to a channel.
+
+    Parameters
+    ----------
+    controller:
+        The :class:`~repro.core.channel.RdmaChannelController` that owns
+        *channel* (used for QP reconnect).
+    channel:
+        The channel to guard.
+    primitive:
+        The primitive using the channel; must implement
+        ``degrade(channel)`` / ``probe(channel)`` / ``recover(channel)``.
+    generators:
+        Request generators whose health events should feed the breaker.
+        Defaults to every generator the primitive exposes that rides
+        *channel* (``rocegen`` plus ``rocegens`` / ``read_rocegens``
+        entries).
+    reconnect:
+        When True (default), a half-open transition tears down and
+        re-opens the QP pair before probing.  Set False to probe on the
+        existing (possibly wedged) QPs — useful when the outage was in
+        the fabric, not the endpoints.
+    """
+
+    def __init__(
+        self,
+        controller: RdmaChannelController,
+        channel: RemoteMemoryChannel,
+        primitive,
+        generators: Optional[List[RoceRequestGenerator]] = None,
+        config: Optional[CircuitBreakerConfig] = None,
+        rng: Optional[random.Random] = None,
+        reconnect: bool = True,
+    ) -> None:
+        for method in ("degrade", "probe", "recover"):
+            if not callable(getattr(primitive, method, None)):
+                raise TypeError(
+                    f"{type(primitive).__name__} does not implement "
+                    f"{method}(channel); cannot self-heal"
+                )
+        if channel not in controller.channels:
+            raise ValueError(f"channel {channel.name!r} is not open on this controller")
+        self.controller = controller
+        self.channel = channel
+        self.primitive = primitive
+        self.reconnect = reconnect
+        sim = controller.switch.sim
+        self.breaker = CircuitBreaker(sim, channel.name, config=config, rng=rng)
+        self.metrics = sim.obs.registry.unique_scope(
+            f"resilience.guard[{channel.name}]"
+        )
+        self._m_reconnects = self.metrics.counter("reconnects")
+        self._m_degrades = self.metrics.counter("degrades")
+        self._m_recoveries = self.metrics.counter("recoveries")
+        generators = (
+            generators
+            if generators is not None
+            else self._default_generators(primitive, channel)
+        )
+        if not generators:
+            raise ValueError(
+                "no request generators found on the primitive for this "
+                "channel; pass generators= explicitly"
+            )
+        for gen in generators:
+            self.breaker.watch(gen)
+        self.breaker.on_open.append(self._on_open)
+        self.breaker.on_half_open.append(self._on_half_open)
+        self.breaker.on_close.append(self._on_close)
+        # Teardown of the guarded channel must also silence the breaker's
+        # listeners — same rule the HealthMonitor follows.
+        channel.teardown_callbacks.append(self._on_teardown)
+        self._active = True
+
+    @staticmethod
+    def _default_generators(primitive, channel) -> List[RoceRequestGenerator]:
+        found: List[RoceRequestGenerator] = []
+        single = getattr(primitive, "rocegen", None)
+        if single is not None and single.channel is channel:
+            found.append(single)
+        for attr in ("rocegens", "read_rocegens"):
+            for gen in getattr(primitive, attr, []) or []:
+                if gen.channel is channel and gen not in found:
+                    found.append(gen)
+        return found
+
+    # -- breaker transitions ----------------------------------------------------
+
+    def _on_open(self, breaker: CircuitBreaker) -> None:
+        if not self._active:
+            return
+        self._m_degrades.inc()
+        self.primitive.degrade(self.channel)
+
+    def _on_half_open(self, breaker: CircuitBreaker) -> None:
+        if not self._active:
+            return
+        if self.reconnect:
+            self.controller.reconnect_channel(self.channel)
+            self._m_reconnects.inc()
+        self.primitive.probe(self.channel)
+
+    def _on_close(self, breaker: CircuitBreaker) -> None:
+        if not self._active:
+            return
+        self._m_recoveries.inc()
+        self.primitive.recover(self.channel)
+
+    def _on_teardown(self) -> None:
+        self._active = False
+
+    @property
+    def reconnects(self) -> int:
+        return self._m_reconnects.value
+
+    def __repr__(self) -> str:
+        return (
+            f"<SelfHealingChannel {self.channel.name!r} "
+            f"breaker={self.breaker.state}>"
+        )
