@@ -25,6 +25,7 @@ from repro.analysis.profiling import (
     measure,
     write_report,
 )
+from repro.sim.simulator import kernel_mode
 from repro.experiments.scaleout import (
     format_failover,
     format_scaleout,
@@ -80,42 +81,65 @@ def test_failover_loses_no_counter_updates(benchmark, paper_report):
 # -- standalone perf-record harness -----------------------------------------
 
 
-def collect_records(quick: bool = False):
-    """Run the cluster experiments under the profiler; {name: PerfRecord}."""
+def collect_records(quick: bool = False, modes: tuple = ("scalar", "batch")):
+    """Run the cluster experiments under the profiler; {name: PerfRecord}.
+
+    Each experiment runs once per kernel mode: scalar records keep their
+    historical names, batch twins ride under a ``_batch`` suffix with
+    ``extra["mode"]`` / ``extra["baseline_name"]`` set (the same
+    convention as ``bench_micro``), so baseline speedups compare like
+    with like.
+    """
     lookups = 400 if quick else 1200
     packets = 1500 if quick else 4000
     kill_at = 600_000.0 if quick else 1_500_000.0
 
     records = {}
     rows = []
-    for servers in (1, 2, 4):
-        row, record = measure(
-            f"scaleout_{servers}_servers",
-            run_scaleout_point,
-            servers,
-            lookups_per_host=lookups,
-        )
-        record.extra["servers"] = servers
-        record.extra["mlookups_per_sec"] = round(row.mlookups_per_sec, 3)
-        record.extra["lookups_lost"] = row.lookups_lost
-        records[record.label] = record
-        rows.append(row)
-    speedup = rows[-1].mlookups_per_sec / rows[0].mlookups_per_sec
-    records["scaleout_4_servers"].extra["speedup_vs_1_server"] = round(
-        speedup, 3
-    )
+    result = None
+    for mode in modes:
+        suffix = "" if mode == "scalar" else f"_{mode}"
+        with kernel_mode(mode):
+            mode_rows = []
+            for servers in (1, 2, 4):
+                row, record = measure(
+                    f"scaleout_{servers}_servers",
+                    run_scaleout_point,
+                    servers,
+                    lookups_per_host=lookups,
+                )
+                record.label += suffix
+                record.extra["servers"] = servers
+                record.extra["mlookups_per_sec"] = round(row.mlookups_per_sec, 3)
+                record.extra["lookups_lost"] = row.lookups_lost
+                records[record.label] = record
+                mode_rows.append(row)
+            speedup = mode_rows[-1].mlookups_per_sec / mode_rows[0].mlookups_per_sec
+            records[f"scaleout_4_servers{suffix}"].extra["speedup_vs_1_server"] = (
+                round(speedup, 3)
+            )
 
-    result, record = measure(
-        "failover_replicated_counters",
-        run_failover_counters,
-        packets=packets,
-        kill_at_ns=kill_at,
-    )
-    record.extra["killed_member"] = result.killed_member
-    record.extra["lost_updates"] = result.lost_updates
-    record.extra["all_counters_exact"] = result.all_counters_exact
-    record.extra["counters_repaired"] = result.counters_repaired
-    records[record.label] = record
+            mode_result, record = measure(
+                "failover_replicated_counters",
+                run_failover_counters,
+                packets=packets,
+                kill_at_ns=kill_at,
+            )
+            record.label += suffix
+            record.extra["killed_member"] = mode_result.killed_member
+            record.extra["lost_updates"] = mode_result.lost_updates
+            record.extra["all_counters_exact"] = mode_result.all_counters_exact
+            record.extra["counters_repaired"] = mode_result.counters_repaired
+            records[record.label] = record
+            if mode == "scalar" or result is None:
+                rows = mode_rows
+                result = mode_result
+    for name, record in records.items():
+        if name.endswith("_batch"):
+            record.extra["mode"] = "batch"
+            record.extra.setdefault("baseline_name", name[: -len("_batch")])
+        else:
+            record.extra.setdefault("mode", "scalar")
     return records, rows, result
 
 
@@ -140,6 +164,12 @@ def main(argv=None) -> int:
         "--quick", action="store_true", help="reduced scales (CI smoke)"
     )
     parser.add_argument(
+        "--mode",
+        choices=("scalar", "batch", "both"),
+        default="both",
+        help="kernel mode(s) to benchmark (default: both, side by side)",
+    )
+    parser.add_argument(
         "--metrics",
         metavar="PATH",
         default=None,
@@ -155,9 +185,10 @@ def main(argv=None) -> int:
 
     from repro.obs import Observability, WireTrace
 
+    modes = ("scalar", "batch") if args.mode == "both" else (args.mode,)
     obs = Observability(trace=WireTrace() if args.trace else None)
     with obs.activate():
-        records, rows, failover = collect_records(quick=args.quick)
+        records, rows, failover = collect_records(quick=args.quick, modes=modes)
     baseline = None
     if args.baseline and os.path.exists(args.baseline):
         baseline = load_report(args.baseline)
@@ -167,7 +198,12 @@ def main(argv=None) -> int:
     print(format_scaleout(rows))
     print()
     print(format_failover(failover))
-    speedup = records["scaleout_4_servers"].extra["speedup_vs_1_server"]
+    key = (
+        "scaleout_4_servers"
+        if "scaleout_4_servers" in records
+        else "scaleout_4_servers_batch"
+    )
+    speedup = records[key].extra["speedup_vs_1_server"]
     print(f"\n4-server speedup: {speedup:.2f}x "
           f"(lost updates on failover: {failover.lost_updates})")
     print(f"wrote {args.output}")

@@ -1,0 +1,124 @@
+"""CI perf guardrail: fail when batch-kernel throughput regresses.
+
+Compares a freshly measured ``repro-perf-record/v1`` report against the
+committed one and fails (exit 1) if the guarded benchmark regressed more
+than the allowed fraction.  CI machines differ wildly in absolute speed,
+so the guarded number is first *normalized* by a same-run reference
+benchmark (the scalar event loop): the guarded quantity is then the
+batch/scalar ratio — "how much does batch mode buy on this machine" —
+which is stable across hardware in a way raw events/sec is not.
+
+A machine-readable delta is always written (``--delta-out``) so CI can
+upload it as an artifact whether the check passes or fails.
+
+Usage (what the smoke-benchmark job runs)::
+
+    python benchmarks/check_perf_guardrail.py BENCH_micro_ci.json \
+        benchmarks/BENCH_micro.json \
+        --benchmark simulator_event_throughput_batch \
+        --normalize simulator_event_throughput \
+        --max-regression 0.20 --delta-out perf_guardrail_delta.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def _rate(report, name):
+    result = report.get("results", {}).get(name)
+    if result is None:
+        raise SystemExit(f"benchmark {name!r} missing from record "
+                         f"(label={report.get('label')!r})")
+    rate = result.get("extra", {}).get("ops_per_sec") or result.get(
+        "events_per_sec", 0.0
+    )
+    if not rate:
+        raise SystemExit(f"benchmark {name!r} has no usable rate")
+    return float(rate)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly measured perf record (JSON)")
+    parser.add_argument("committed", help="committed baseline perf record (JSON)")
+    parser.add_argument(
+        "--benchmark",
+        default="simulator_event_throughput_batch",
+        help="result name to guard",
+    )
+    parser.add_argument(
+        "--normalize",
+        default="simulator_event_throughput",
+        help=(
+            "same-run reference benchmark used to cancel out machine speed; "
+            "'' disables normalization (guards the raw rate)"
+        ),
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional regression before failing (default 0.20)",
+    )
+    parser.add_argument(
+        "--delta-out",
+        default="perf_guardrail_delta.json",
+        help="where to write the machine-readable delta artifact",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.current) as fh:
+        current = json.load(fh)
+    with open(args.committed) as fh:
+        committed = json.load(fh)
+
+    cur_rate = _rate(current, args.benchmark)
+    base_rate = _rate(committed, args.benchmark)
+    if args.normalize:
+        cur_norm = cur_rate / _rate(current, args.normalize)
+        base_norm = base_rate / _rate(committed, args.normalize)
+    else:
+        cur_norm, base_norm = cur_rate, base_rate
+    change = cur_norm / base_norm - 1.0  # <0 is a regression
+    regressed = -change > args.max_regression
+
+    delta = {
+        "schema": "repro-perf-guardrail/v1",
+        "benchmark": args.benchmark,
+        "normalize": args.normalize or None,
+        "current_rate": cur_rate,
+        "committed_rate": base_rate,
+        "current_normalized": cur_norm,
+        "committed_normalized": base_norm,
+        "change": change,
+        "max_regression": args.max_regression,
+        "regressed": regressed,
+        "current_label": current.get("label"),
+        "committed_label": committed.get("label"),
+    }
+    with open(args.delta_out, "w") as fh:
+        json.dump(delta, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    what = (
+        f"{args.benchmark}: {cur_rate:,.0f} now vs {base_rate:,.0f} committed"
+    )
+    if args.normalize:
+        what += (
+            f" (normalized by {args.normalize}: "
+            f"{cur_norm:.2f}x now vs {base_norm:.2f}x committed)"
+        )
+    print(what)
+    print(f"change: {change:+.1%} (limit -{args.max_regression:.0%}); "
+          f"delta written to {args.delta_out}")
+    if regressed:
+        print("PERF GUARDRAIL FAILED: batch kernel regressed beyond the limit",
+              file=sys.stderr)
+        return 1
+    print("perf guardrail OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

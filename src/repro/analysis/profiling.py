@@ -236,11 +236,18 @@ def _rate_of(result: Dict[str, Any]) -> float:
 def compare_records(
     current: Dict[str, Any], baseline: Dict[str, Any]
 ) -> Dict[str, float]:
-    """Per-benchmark speedup of *current* over *baseline* (>1 is faster)."""
+    """Per-benchmark speedup of *current* over *baseline* (>1 is faster).
+
+    A result may name a different baseline benchmark via
+    ``extra["baseline_name"]`` — this is how mode variants (e.g.
+    ``simulator_event_throughput_batch``) report speedup against the
+    scalar baseline entry, which predates the variant.
+    """
     speedups: Dict[str, float] = {}
     base_results = baseline.get("results", {})
     for name, result in current.get("results", {}).items():
-        base = base_results.get(name)
+        base_name = result.get("extra", {}).get("baseline_name", name)
+        base = base_results.get(base_name)
         if not base:
             continue
         base_rate = _rate_of(base)

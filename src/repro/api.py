@@ -26,7 +26,14 @@ import it).
 from __future__ import annotations
 
 # -- simulation kernel and testbed -----------------------------------------
-from .sim.simulator import Simulator
+from .sim.batch import BatchSimulator
+from .sim.simulator import (
+    KERNELS,
+    Simulator,
+    default_kernel,
+    kernel_mode,
+    set_default_kernel,
+)
 from .sim.units import (
     gbps,
     gib,
@@ -89,6 +96,9 @@ from .apps.programs import (
 )
 from .switches.pipeline import PipelineContext, SwitchProgram
 
+# -- packets ----------------------------------------------------------------
+from .net.packet import Packet, PacketPool
+
 # -- servers and NICs -------------------------------------------------------
 from .hosts.server import Host, MemoryServer
 from .rdma.rnic import Rnic, RnicConfig
@@ -145,6 +155,11 @@ from .obs import (
 __all__ = [
     # simulation + testbed
     "Simulator",
+    "BatchSimulator",
+    "KERNELS",
+    "default_kernel",
+    "kernel_mode",
+    "set_default_kernel",
     "Testbed",
     "build_testbed",
     "DEFAULT_LINK_RATE",
@@ -191,6 +206,9 @@ __all__ = [
     "RemoteLookupProgram",
     "StaticL2Program",
     "SwitchProgram",
+    # packets
+    "Packet",
+    "PacketPool",
     # hosts + NICs
     "Host",
     "MemoryServer",

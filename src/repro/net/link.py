@@ -4,6 +4,16 @@ Serialization happens at the transmitting :class:`~repro.net.node.Interface`
 (one packet on the wire at a time per direction); the link adds propagation
 delay and delivers to the peer.  Links may also inject loss or corruption
 for the §7 drop-sensitivity experiments.
+
+Fast-path note: an idle link (no taps, zero loss, no fault injector) is by
+far the common case, and ``carry`` runs once per packet per hop.  Rather
+than re-checking all three conditions per packet, the link precomputes one
+``_fast`` flag and invalidates it whenever any of the three change —
+``taps`` is an observed list (:class:`_TapList`), and ``loss_probability``
+/ ``fault_injector`` are properties.  The fast path is then a single flag
+test plus a fire-and-forget :meth:`~repro.sim.simulator.Simulator.post_delivery`,
+which the batch kernel can coalesce into one callback per same-instant
+cohort.
 """
 
 from __future__ import annotations
@@ -14,6 +24,57 @@ from typing import Callable, List, Optional
 from ..sim.simulator import Simulator
 from .node import Interface
 from .packet import Packet
+
+
+class _TapList(list):
+    """A tap list that tells its owning link when it changes."""
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "Link") -> None:
+        super().__init__()
+        self._owner = owner
+
+    def _changed(self) -> None:
+        self._owner._refresh_fast_path()
+
+    def append(self, tap):  # type: ignore[override]
+        super().append(tap)
+        self._changed()
+
+    def extend(self, taps):  # type: ignore[override]
+        super().extend(taps)
+        self._changed()
+
+    def insert(self, index, tap):  # type: ignore[override]
+        super().insert(index, tap)
+        self._changed()
+
+    def remove(self, tap):  # type: ignore[override]
+        super().remove(tap)
+        self._changed()
+
+    def pop(self, index=-1):  # type: ignore[override]
+        tap = super().pop(index)
+        self._changed()
+        return tap
+
+    def clear(self):  # type: ignore[override]
+        super().clear()
+        self._changed()
+
+    def __setitem__(self, index, value):  # type: ignore[override]
+        super().__setitem__(index, value)
+        self._changed()
+
+    def __delitem__(self, index):  # type: ignore[override]
+        super().__delitem__(index)
+        self._changed()
+
+    def __iadd__(self, taps):  # type: ignore[override]
+        super().extend(taps)
+        self._changed()
+        return self
 
 
 class Link:
@@ -38,17 +99,50 @@ class Link:
         self.b = b
         self.rate_bps = rate_bps
         self.propagation_ns = propagation_ns
-        self.loss_probability = loss_probability
+        self._loss_probability = loss_probability
         self._loss_rng = loss_rng if loss_rng is not None else random.Random(0)
         self.lost_packets = 0
-        #: Taps fired as tap(src_interface, packet) when a packet enters the wire.
-        self.taps: List[Callable[[Interface, Packet], None]] = []
-        #: Optional :class:`~repro.faults.injectors.LinkFaultInjector`; when
-        #: set it takes over delivery scheduling, applying its armed fault
-        #: models (loss, reorder, duplicate, jitter, corrupt) to each carry.
-        self.fault_injector = None
+        #: Taps fired as tap(src_interface, packet) when a packet enters the
+        #: wire.  Mutations (append/remove/...) refresh the fast-path flag.
+        self.taps: List[Callable[[Interface, Packet], None]] = _TapList(self)
+        self._fault_injector = None
+        self._fast = loss_probability == 0.0
         a.link = self
         b.link = self
+
+    # -- fast-path bookkeeping -------------------------------------------------
+
+    def _refresh_fast_path(self) -> None:
+        self._fast = (
+            not self.taps
+            and self._loss_probability == 0.0
+            and self._fault_injector is None
+        )
+
+    @property
+    def loss_probability(self) -> float:
+        return self._loss_probability
+
+    @loss_probability.setter
+    def loss_probability(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability out of range: {probability}")
+        self._loss_probability = probability
+        self._refresh_fast_path()
+
+    @property
+    def fault_injector(self):
+        """Optional :class:`~repro.faults.injectors.LinkFaultInjector`; when
+        set it takes over delivery scheduling, applying its armed fault
+        models (loss, reorder, duplicate, jitter, corrupt) to each carry."""
+        return self._fault_injector
+
+    @fault_injector.setter
+    def fault_injector(self, injector) -> None:
+        self._fault_injector = injector
+        self._refresh_fast_path()
+
+    # -- data path -------------------------------------------------------------
 
     def peer_of(self, interface: Interface) -> Interface:
         if interface is self.a:
@@ -59,16 +153,31 @@ class Link:
 
     def carry(self, src: Interface, packet: Packet) -> None:
         """Propagate *packet* from *src* to the opposite interface."""
+        if self._fast:
+            if src is self.a:
+                dst = self.b
+            elif src is self.b:
+                dst = self.a
+            else:
+                raise ValueError(f"{src} is not attached to {self}")
+            self.sim.post_delivery(self.propagation_ns, dst, packet)
+            return
+        self._carry_slow(src, packet)
+
+    def _carry_slow(self, src: Interface, packet: Packet) -> None:
         dst = self.peer_of(src)
         for tap in self.taps:
             tap(src, packet)
-        if self.loss_probability > 0.0 and self._loss_rng.random() < self.loss_probability:
+        if (
+            self._loss_probability > 0.0
+            and self._loss_rng.random() < self._loss_probability
+        ):
             self.lost_packets += 1
             return
-        if self.fault_injector is not None:
-            self.fault_injector.carry(self, src, packet)
+        if self._fault_injector is not None:
+            self._fault_injector.carry(self, src, packet)
             return
-        self.sim.schedule(self.propagation_ns, dst.deliver, packet)
+        self.sim.post_delivery(self.propagation_ns, dst, packet)
 
     def __repr__(self) -> str:
         return (

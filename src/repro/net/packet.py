@@ -116,6 +116,7 @@ class Packet:
         "packet_id",
         "_hdr_len",
         "_trl_len",
+        "_in_pool",
     )
 
     def __init__(
@@ -132,6 +133,7 @@ class Packet:
         self.packet_id = next(_packet_ids)
         self._hdr_len: Optional[int] = None
         self._trl_len: Optional[int] = None
+        self._in_pool = False
         global _packets_created
         _packets_created += 1
 
@@ -351,9 +353,161 @@ class Packet:
             meta=new_meta,
         )
 
+    def release(self, pool: Optional["PacketPool"] = None) -> None:
+        """Return this packet (and its header objects) to a free-list pool.
+
+        Opt-in recycling for workloads that churn packets: the caller
+        asserts that *nothing else* holds a reference to this packet or to
+        its header/trailer objects — no retransmit queue, no pending
+        delivery, no trace buffer.  After release the packet must not be
+        touched; a later :meth:`PacketPool.acquire`/:meth:`PacketPool.clone`
+        may re-initialise it in place under a fresh ``packet_id``.
+        Double release is a no-op.
+        """
+        (pool if pool is not None else DEFAULT_POOL)._release(self)
+
     def __repr__(self) -> str:
         names = "/".join(type(h).__name__.replace("Header", "") for h in self._headers)
         return (
             f"<Packet #{self.packet_id} {names or 'raw'} "
             f"payload={len(self.payload)}B frame={self.frame_len}B>"
         )
+
+
+class PacketPool:
+    """A free list of :class:`Packet` shells with header-scratch reuse.
+
+    Packet churn is the second hot path after the event loop: every hop
+    of every simulated exchange builds packets (requests, responses,
+    mirrors) that die microseconds later.  The pool recycles the whole
+    object graph — the :class:`Packet` shell, its ``_HeaderList``
+    containers, its ``meta`` dict, *and the released header objects
+    themselves*, which become scratch that :meth:`clone` re-initialises
+    field-by-field instead of allocating fresh headers.
+
+    Recycling is strictly opt-in (see :meth:`Packet.release`): the core
+    simulation never releases packets on your behalf, because a packet
+    "received" at one node is routinely still referenced elsewhere (a
+    sender's retransmit queue, a pending duplicate delivery, a tap's
+    capture buffer).  Pool or not, an acquired packet is indistinguishable
+    from a fresh one: new ``packet_id``, clean caches, independent stacks.
+    """
+
+    __slots__ = ("_free", "max_free", "hits", "misses", "recycled")
+
+    def __init__(self, max_free: int = 1024) -> None:
+        self._free: List[Packet] = []
+        #: Shells beyond this many are dropped on release (GC reclaims them).
+        self.max_free = max_free
+        self.hits = 0
+        self.misses = 0
+        self.recycled = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def _release(self, packet: Packet) -> None:
+        if packet._in_pool:
+            return
+        if len(self._free) >= self.max_free:
+            return
+        packet._in_pool = True
+        self.recycled += 1
+        self._free.append(packet)
+
+    def acquire(
+        self,
+        headers: Optional[List[Any]] = None,
+        payload: bytes = b"",
+        trailers: Optional[List[Any]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Packet:
+        """A packet initialised like ``Packet(...)``, recycled if possible.
+
+        The given header/trailer objects are adopted as-is (exactly like
+        the :class:`Packet` constructor); only the shell and containers
+        are reused.  Use :meth:`clone` to also recycle header objects.
+        """
+        packet = self._reuse_shell()
+        if packet is None:
+            self.misses += 1
+            return Packet(
+                headers=headers, payload=payload, trailers=trailers, meta=meta
+            )
+        hdrs = packet._headers
+        list.clear(hdrs)
+        if headers:
+            list.extend(hdrs, headers)
+        trls = packet._trailers
+        list.clear(trls)
+        if trailers:
+            list.extend(trls, trailers)
+        packet.payload = payload if type(payload) is bytes else bytes(payload)
+        if meta:
+            packet.meta.update(meta)
+        return packet
+
+    def clone(self, source: Packet) -> Packet:
+        """Clone *source* through the pool (semantics of :meth:`Packet.clone`).
+
+        On a free-list hit, the recycled shell's retained header objects
+        are re-initialised in place from the source's fields whenever the
+        types line up positionally — zero header allocation for the
+        steady-state case of cloning the same packet shape repeatedly.
+        """
+        packet = self._reuse_shell()
+        if packet is None:
+            self.misses += 1
+            return source.clone()
+        copy_header = Packet._copy_header
+        for stack, src_stack in (
+            (packet._headers, source._headers),
+            (packet._trailers, source._trailers),
+        ):
+            scratch = list(stack)
+            list.clear(stack)
+            for i, src_header in enumerate(src_stack):
+                if (
+                    i < len(scratch)
+                    and type(scratch[i]) is type(src_header)
+                    and hasattr(src_header, "__dict__")
+                ):
+                    dup = scratch[i]
+                    dup.__dict__.clear()
+                    dup.__dict__.update(src_header.__dict__)
+                else:
+                    dup = copy_header(src_header)
+                list.append(stack, dup)
+        packet.payload = source.payload
+        src_meta = source.meta
+        if src_meta:
+            packet.meta.update(
+                {
+                    key: value
+                    if type(value) in (int, float, str, bytes, bool, type(None))
+                    else copy.deepcopy(value)
+                    for key, value in src_meta.items()
+                }
+            )
+        # The shell kept the source's sizes only if the stacks matched;
+        # recompute lazily either way (cleared in _reuse_shell).
+        return packet
+
+    def _reuse_shell(self) -> Optional[Packet]:
+        free = self._free
+        if not free:
+            return None
+        self.hits += 1
+        packet = free.pop()
+        packet._in_pool = False
+        packet.packet_id = next(_packet_ids)
+        # Keep the containers and their retained header objects: clone()
+        # uses them as scratch.  acquire() clears them below/extends.
+        packet.meta.clear()
+        packet._hdr_len = None
+        packet._trl_len = None
+        return packet
+
+
+#: Process-wide default pool used by ``Packet.release()`` with no argument.
+DEFAULT_POOL = PacketPool()

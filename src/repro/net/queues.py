@@ -9,7 +9,7 @@ pools, PFC pause) on top of the same interface.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Iterable, Optional
 
 from .packet import Packet
 
@@ -60,6 +60,26 @@ class TxQueue:
         self._depth_bytes += packet.buffer_len
         self.enqueued_packets += 1
         return True
+
+    def offer_many(self, packets: Iterable[Packet]) -> int:
+        """Offer each packet in order; returns how many were admitted.
+
+        Per-packet admission (not all-or-nothing): a batch delivered in one
+        callback must fill the queue exactly as the same packets offered one
+        at a time would, including which tail packets get dropped.
+        """
+        admitted = 0
+        queue = self._queue
+        for packet in packets:
+            if not self.admits(packet):
+                self.dropped_packets += 1
+                self.dropped_bytes += packet.buffer_len
+                continue
+            queue.append(packet)
+            self._depth_bytes += packet.buffer_len
+            self.enqueued_packets += 1
+            admitted += 1
+        return admitted
 
     def poll(self) -> Optional[Packet]:
         """Dequeue the next packet, or None if empty."""

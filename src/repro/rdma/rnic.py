@@ -352,7 +352,7 @@ class Rnic:
             return
         self._rx_busy = True
         packet = self._rx_queue.popleft()
-        self.sim.schedule(
+        self.sim.post(
             self.config.rx_processing_ns, self._process_request, packet
         )
 
@@ -366,7 +366,7 @@ class Rnic:
         if at_ns is None or at_ns <= self.sim.now:
             self._rx_backlog_bytes -= packet.buffer_len
         else:
-            self.sim.schedule(
+            self.sim.post(
                 at_ns - self.sim.now, self._release_buffer, packet
             )
 
@@ -482,7 +482,7 @@ class Rnic:
         service_ns = 1e9 / self.config.atomic_rate_ops
         finish = start + service_ns
         self._atomic_free_at = finish
-        self.sim.schedule(finish - self.sim.now, self._retire_atomic, packet)
+        self.sim.post(finish - self.sim.now, self._retire_atomic, packet)
         response = build_atomic_ack(packet, qp, original)
         self._send_response_at(finish, response, qp)
 
@@ -554,7 +554,7 @@ class Rnic:
             self._m_acks.inc()
         when_ns = max(when_ns, self.sim.now, self._resp_floor.get(qp.qpn, 0.0))
         self._resp_floor[qp.qpn] = when_ns
-        self.sim.schedule(when_ns - self.sim.now, self.interface.send, response)
+        self.sim.post(when_ns - self.sim.now, self.interface.send, response)
 
     def _send_nak(
         self,

@@ -30,10 +30,14 @@ simulated packet costs several events):
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, TYPE_CHECKING
 
 from .events import ARGS, CALLBACK, TIME, Event
 from ..obs import Observability
+
+if TYPE_CHECKING:
+    from ..net.node import Interface
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -41,6 +45,46 @@ _heappop = heapq.heappop
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulator (e.g. scheduling in the past)."""
+
+
+#: Names of the available kernel implementations (see :func:`set_default_kernel`).
+KERNELS = ("scalar", "batch")
+
+#: The kernel ``Simulator()`` instantiates when no explicit choice is made.
+_default_kernel = "scalar"
+
+
+def default_kernel() -> str:
+    """The kernel mode a bare ``Simulator()`` call currently selects."""
+    return _default_kernel
+
+
+def set_default_kernel(mode: str) -> None:
+    """Select the kernel every subsequent ``Simulator()`` builds.
+
+    ``"scalar"`` (the default) is the classic binary-heap loop below;
+    ``"batch"`` is the columnar bucketed calendar in
+    :mod:`repro.sim.batch`.  Both fire events in identical ``(time,
+    scheduling-order)`` sequence — batch mode is a throughput
+    optimisation, not a semantic switch — so fixed-seed runs produce
+    byte-identical wire traces in either mode (asserted by the
+    determinism and wire-fidelity test suites).
+    """
+    global _default_kernel
+    if mode not in KERNELS:
+        raise SimulationError(f"unknown kernel {mode!r}, expected one of {KERNELS}")
+    _default_kernel = mode
+
+
+@contextmanager
+def kernel_mode(mode: str) -> Iterator[str]:
+    """Scope the default kernel: ``with kernel_mode("batch"): ...``."""
+    previous = _default_kernel
+    set_default_kernel(mode)
+    try:
+        yield mode
+    finally:
+        set_default_kernel(previous)
 
 
 #: Process-wide total of events fired across all Simulator instances,
@@ -65,7 +109,26 @@ class Simulator:
 
     __slots__ = ("_heap", "_now", "_seq", "_events_processed", "_running", "obs")
 
-    def __init__(self) -> None:
+    #: Kernel mode name; the batch subclass overrides it.
+    kernel = "scalar"
+
+    def __new__(cls, kernel: Optional[str] = None) -> "Simulator":
+        # A bare ``Simulator()`` honours the process default (see
+        # set_default_kernel); an explicit subclass always wins.
+        if cls is Simulator:
+            mode = kernel if kernel is not None else _default_kernel
+            if mode != "scalar":
+                if mode not in KERNELS:
+                    raise SimulationError(
+                        f"unknown kernel {mode!r}, expected one of {KERNELS}"
+                    )
+                from .batch import BatchSimulator
+
+                return object.__new__(BatchSimulator)
+        return object.__new__(cls)
+
+    def __init__(self, kernel: Optional[str] = None) -> None:
+        # ``kernel`` is consumed by __new__ (it selects the class).
         self._heap: List[Event] = []
         self._now: float = 0.0
         self._seq: int = 0
@@ -144,6 +207,45 @@ class Simulator:
         event = Event((time_ns, seq, callback, args))
         _heappush(self._heap, event)
         return event
+
+    # -- fire-and-forget scheduling --------------------------------------------
+    #
+    # The hot paths (link delivery, serializer completion, switch pipeline
+    # passes, RNIC engines) never cancel the events they schedule, so they
+    # do not need the Event handle back.  ``post``/``post_delivery`` make
+    # that contract explicit: the scalar kernel implements them as plain
+    # schedules, while the batch kernel stores them as bare cohort entries
+    # (no Event allocation, no heap sift) and — for deliveries — coalesces
+    # adjacent same-interface arrivals into one batched callback.  Firing
+    # order is identical to schedule() in both kernels.
+
+    def post(self, delay_ns: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule *callback(*args)* with no cancellation handle."""
+        if delay_ns < 0:
+            raise SimulationError(
+                f"cannot schedule into the past (delay={delay_ns}ns)"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, Event((self._now + delay_ns, seq, callback, args)))
+
+    def post_delivery(self, delay_ns: float, interface: "Interface", packet: Any) -> None:
+        """Schedule ``interface.deliver(packet)`` with no cancellation handle.
+
+        This is the tagged form of :meth:`post` the batch kernel keys its
+        link-delivery coalescing on; the scalar kernel treats it exactly
+        like today's ``schedule(delay, interface.deliver, packet)``.
+        """
+        if delay_ns < 0:
+            raise SimulationError(
+                f"cannot schedule into the past (delay={delay_ns}ns)"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(
+            self._heap,
+            Event((self._now + delay_ns, seq, interface.deliver, (packet,))),
+        )
 
     # -- execution -------------------------------------------------------------
 

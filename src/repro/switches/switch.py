@@ -98,13 +98,23 @@ class ProgrammableSwitch(Node):
     def receive(self, packet: Packet, interface: Interface) -> None:
         self.stats.rx_packets += 1
         port = self._port_of_interface[interface]
-        self.sim.schedule(
+        self.sim.post(
             self.config.pipeline_latency_ns, self._run_pipeline, packet, port, 0
         )
 
+    def receive_batch(self, packets: List[Packet], interface: Interface) -> None:
+        # Hoists the port lookup and stats update out of the per-packet loop.
+        self.stats.rx_packets += len(packets)
+        port = self._port_of_interface[interface]
+        post = self.sim.post
+        latency = self.config.pipeline_latency_ns
+        pipeline = self._run_pipeline
+        for packet in packets:
+            post(latency, pipeline, packet, port, 0)
+
     def inject(self, packet: Packet, port: Optional[int] = None) -> None:
         """Run a locally-generated packet through the pipeline (CPU port)."""
-        self.sim.schedule(
+        self.sim.post(
             self.config.pipeline_latency_ns, self._run_pipeline, packet, port, 0
         )
 
@@ -141,7 +151,7 @@ class ProgrammableSwitch(Node):
                 self.stats.recirculation_overflow_drops += 1
                 return
             self.stats.recirculations += 1
-            self.sim.schedule(
+            self.sim.post(
                 self.config.recirculation_latency_ns,
                 self._run_pipeline,
                 packet,

@@ -200,3 +200,125 @@ class TestRoundTripProperties:
         bth.pack()
         bth.psn = new_psn
         assert BthHeader.unpack(bth.pack()).psn == new_psn
+
+
+def _roce_packet(psn: int, payload: bytes, dscp: int = 0):
+    from repro.net.packet import Packet
+
+    return Packet(
+        headers=[
+            EthernetHeader(dst=MacAddress(2), src=MacAddress(1)),
+            Ipv4Header(
+                src=Ipv4Address("10.0.0.1"), dst=Ipv4Address("10.0.0.2"),
+                dscp=dscp,
+            ),
+            UdpHeader(src_port=1000, dst_port=4791),
+            BthHeader(opcode=0x0A, dest_qp=0x11, psn=psn),
+            RethHeader(virtual_address=0x1000, rkey=0x42, dma_length=len(payload)),
+        ],
+        payload=payload,
+        trailers=[IcrcTrailer()],
+    )
+
+
+class TestPacketPool:
+    """The free-list pool must be invisible to correctness: a recycled
+    packet can never alias a live one, and pooled clones keep every
+    cached-pack invalidation guarantee of a constructor-built clone."""
+
+    @given(
+        psns=st.lists(st.integers(0, (1 << 24) - 1), min_size=1, max_size=8),
+        payload=st.binary(min_size=0, max_size=64),
+        other_payload=st.binary(min_size=0, max_size=64),
+    )
+    def test_release_then_reacquire_never_aliases_live_packet(
+        self, psns, payload, other_payload
+    ):
+        from repro.net.packet import PacketPool
+
+        pool = PacketPool()
+        live = []
+        for psn in psns:
+            # Clone a packet, keep the clone alive, release the *source*:
+            # the recycled shell must never share headers/payload/stacks
+            # with the clone that outlives it.
+            source = _roce_packet(psn, payload)
+            keep = pool.clone(source)
+            source.release(pool)
+            live.append((keep, keep.pack()))
+            reacquired = pool.clone(_roce_packet(psn ^ 0xFFFF, other_payload))
+            assert reacquired is not keep
+            assert reacquired._headers is not keep._headers
+            for h_new in reacquired.headers:
+                for live_packet, _ in live:
+                    assert all(h_new is not h for h in live_packet.headers)
+        # Every live clone still packs to the bytes it packed originally.
+        for keep, packed in live:
+            assert keep.pack() == packed
+
+    def test_double_release_is_single_entry(self):
+        from repro.net.packet import PacketPool
+
+        pool = PacketPool()
+        packet = _roce_packet(1, b"x")
+        packet.release(pool)
+        packet.release(pool)
+        assert len(pool) == 1
+        a = pool.acquire(payload=b"a")
+        b = pool.acquire(payload=b"b")
+        assert a is not b
+        assert a.payload == b"a" and b.payload == b"b"
+
+    def test_acquired_shell_is_fresh(self):
+        from repro.net.packet import PacketPool
+
+        pool = PacketPool()
+        packet = _roce_packet(5, b"hello")
+        packet.meta["flow"] = 7
+        old_id = packet.packet_id
+        packet.release(pool)
+        again = pool.acquire(payload=b"other")
+        assert again.packet_id != old_id
+        assert again.headers == [] and again.trailers == []
+        assert again.meta == {}
+        assert again.payload == b"other"
+        assert again.frame_len  # size caches rebuilt, no stale totals
+
+    @given(
+        psn=st.integers(0, (1 << 24) - 1),
+        new_psn=st.integers(0, (1 << 24) - 1),
+        dscp=st.integers(0, 0x3F),
+    )
+    def test_pooled_clone_keeps_cached_pack_invalidation(self, psn, new_psn, dscp):
+        from repro.net.packet import PacketPool
+
+        pool = PacketPool()
+        # Warm the free list so the clone under test reuses header scratch.
+        pool.clone(_roce_packet(0, b"warm")).release(pool)
+
+        source = _roce_packet(psn, b"payload", dscp=dscp)
+        source_raw = source.pack()
+        clone = pool.clone(source)
+        assert clone.pack() == source_raw
+        # Mutating the clone's header invalidates its cached bytes...
+        clone.require(BthHeader).psn = new_psn
+        assert BthHeader.unpack(clone.pack()[42:54]).psn == new_psn
+        # ...and never touches the source's headers or cached bytes.
+        assert source.require(BthHeader).psn == psn
+        assert source.pack() == source_raw
+
+    def test_pooled_clone_matches_constructor_clone(self):
+        from repro.net.packet import PacketPool
+
+        pool = PacketPool()
+        pool.clone(_roce_packet(9, b"warm")).release(pool)
+        source = _roce_packet(123, b"data" * 8)
+        source.meta["tags"] = [1, 2]
+        plain = source.clone()
+        pooled = pool.clone(source)
+        assert pooled.headers == plain.headers
+        assert pooled.trailers == plain.trailers
+        assert pooled.payload == plain.payload
+        assert pooled.meta == plain.meta
+        assert pooled.meta["tags"] is not source.meta["tags"]  # deep-copied
+        assert pool.hits == 1 and pool.misses == 1  # warm-up missed, reuse hit

@@ -10,17 +10,22 @@ regression in the simulator shows up here before it scrambles a figure.
 import random
 from dataclasses import asdict
 
+import pytest
+
 from repro.experiments.baremetal import run_baremetal
 from repro.experiments.fig3b import run_fig3b_point
 from repro.experiments.incast import run_incast
 from repro.experiments.kv_cache import run_kv_cache
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import Simulator, kernel_mode
+
+#: Both kernels must satisfy every determinism guarantee in this module.
+MODES = ("scalar", "batch")
 
 
-def _random_workload_trace(seed: int, n: int = 400):
+def _random_workload_trace(seed: int, n: int = 400, mode: str = "scalar"):
     """Drive a simulator with a seeded random event mix; return the trace."""
     rng = random.Random(seed)
-    sim = Simulator()
+    sim = Simulator(kernel=mode)
     trace = []
     cancellable = []
 
@@ -40,15 +45,26 @@ def _random_workload_trace(seed: int, n: int = 400):
     return trace, sim.now, sim.events_processed
 
 
-def test_event_trace_deterministic():
+@pytest.mark.parametrize("mode", MODES)
+def test_event_trace_deterministic(mode):
     """Identical seeds produce byte-identical event traces."""
-    assert _random_workload_trace(7) == _random_workload_trace(7)
-    assert _random_workload_trace(8) == _random_workload_trace(8)
+    assert _random_workload_trace(7, mode=mode) == _random_workload_trace(7, mode=mode)
+    assert _random_workload_trace(8, mode=mode) == _random_workload_trace(8, mode=mode)
 
 
-def test_event_trace_fifo_at_equal_times():
+@pytest.mark.parametrize("seed", [7, 8, 42])
+def test_event_trace_identical_across_kernels(seed):
+    """The batch kernel fires the exact scalar sequence — same (time, tag)
+    trace, same final clock, same event count."""
+    assert _random_workload_trace(seed, mode="scalar") == _random_workload_trace(
+        seed, mode="batch"
+    )
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_event_trace_fifo_at_equal_times(mode):
     """Events scheduled for the same instant fire in scheduling order."""
-    sim = Simulator()
+    sim = Simulator(kernel=mode)
     order = []
     for i in range(50):
         sim.schedule(5.0, order.append, i)
@@ -56,12 +72,13 @@ def test_event_trace_fifo_at_equal_times():
     assert order == list(range(50))
 
 
-def test_run_in_slices_matches_run_to_completion():
+@pytest.mark.parametrize("mode", MODES)
+def test_run_in_slices_matches_run_to_completion(mode):
     """Draining via deadlines slice by slice equals one uninterrupted run."""
-    full, full_now, full_count = _random_workload_trace(11, n=300)
+    full, full_now, full_count = _random_workload_trace(11, n=300, mode=mode)
 
     rng = random.Random(11)
-    sim = Simulator()
+    sim = Simulator(kernel=mode)
     trace = []
     cancellable = []
 
@@ -83,16 +100,67 @@ def test_run_in_slices_matches_run_to_completion():
     assert sim.events_processed == full_count
 
 
-def test_fig3b_point_deterministic():
-    a = run_fig3b_point(256, packets=800)
-    b = run_fig3b_point(256, packets=800)
+@pytest.mark.parametrize("mode", MODES)
+def test_fig3b_point_deterministic(mode):
+    with kernel_mode(mode):
+        a = run_fig3b_point(256, packets=800)
+        b = run_fig3b_point(256, packets=800)
     assert asdict(a) == asdict(b)
+
+
+def test_fig3b_point_identical_across_kernels():
+    """A full experiment (switch + RNIC + workload) produces field-identical
+    results whichever kernel runs it."""
+    with kernel_mode("scalar"):
+        scalar = run_fig3b_point(256, packets=800)
+    with kernel_mode("batch"):
+        batch = run_fig3b_point(256, packets=800)
+    assert asdict(scalar) == asdict(batch)
 
 
 def test_incast_deterministic():
     a = run_incast("remote_buffer", scale=0.02, n_memory_servers=2)
     b = run_incast("remote_buffer", scale=0.02, n_memory_servers=2)
     assert asdict(a) == asdict(b)
+
+
+def test_incast_identical_across_kernels():
+    with kernel_mode("scalar"):
+        scalar = run_incast("remote_buffer", scale=0.02, n_memory_servers=2)
+    with kernel_mode("batch"):
+        batch = run_incast("remote_buffer", scale=0.02, n_memory_servers=2)
+    assert asdict(scalar) == asdict(batch)
+
+
+def test_chaos_run_identical_across_kernels():
+    """Seed-42 chaos run — IidLoss on the server link, then the blackout →
+    degrade → reconnect scenario — produces identical results, a
+    byte-identical wire trace, and a field-identical metric snapshot in
+    both kernels."""
+    from repro.experiments.chaos import run_chaos_point, run_chaos_recovery
+    from repro.obs import Observability, WireTrace
+
+    def run(mode):
+        obs = Observability(trace=WireTrace())
+        with kernel_mode(mode), obs.activate():
+            point = run_chaos_point(
+                loss_rate=0.05, packets=300, flows=8, counters=64, seed=42
+            )
+            recovery = run_chaos_recovery(seed=42)
+        return (
+            asdict(point),
+            asdict(recovery),
+            obs.trace.to_jsonl(),
+            obs.registry.snapshot(),
+        )
+
+    scalar = run("scalar")
+    batch = run("batch")
+    assert scalar[0] == batch[0]  # chaos sweep point results
+    assert scalar[1] == batch[1]  # recovery scenario results
+    assert scalar[2] == batch[2]  # wire trace, byte for byte
+    assert scalar[3] == batch[3]  # metric registry snapshot
+    assert len(scalar[2]) > 0 and len(scalar[3]) > 0
 
 
 def test_baremetal_deterministic_per_seed():

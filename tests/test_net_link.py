@@ -122,6 +122,95 @@ def test_queue_admits_checks_without_side_effects():
     assert queue.dropped_packets == 0  # admits() never counts drops
 
 
+class TestFastPath:
+    """The precomputed ``_fast`` flag must track taps/loss/injector exactly
+    and never change observable behaviour — only which branch runs."""
+
+    def test_idle_link_starts_fast(self):
+        sim = Simulator()
+        *_, link = make_pair(sim)
+        assert link._fast
+
+    def test_lossy_link_starts_slow(self):
+        sim = Simulator()
+        *_, link = make_pair(sim, loss_probability=0.5)
+        assert not link._fast
+        link.loss_probability = 0.0
+        assert link._fast
+
+    def test_tap_mutations_toggle_flag(self):
+        sim = Simulator()
+        *_, link = make_pair(sim)
+        tap = lambda src, pkt: None
+        link.taps.append(tap)
+        assert not link._fast
+        link.taps.remove(tap)
+        assert link._fast
+        link.taps.extend([tap, tap])
+        assert not link._fast
+        link.taps.pop()
+        assert not link._fast  # one tap left
+        link.taps.clear()
+        assert link._fast
+        link.taps += [tap]
+        assert not link._fast
+        del link.taps[0]
+        assert link._fast
+
+    def test_loss_probability_setter_toggles_flag_and_validates(self):
+        sim = Simulator()
+        *_, link = make_pair(sim)
+        link.loss_probability = 0.25
+        assert not link._fast
+        link.loss_probability = 0.0
+        assert link._fast
+        with pytest.raises(ValueError):
+            link.loss_probability = 1.5
+        with pytest.raises(ValueError):
+            link.loss_probability = -0.1
+        assert link._fast  # rejected assignment leaves the flag alone
+
+    def test_fault_injector_setter_toggles_flag(self):
+        sim = Simulator()
+        *_, link = make_pair(sim)
+
+        class _Injector:
+            def carry(self, link, src, packet):
+                link.sim.post_delivery(link.propagation_ns, link.peer_of(src), packet)
+
+        link.fault_injector = _Injector()
+        assert not link._fast
+        link.fault_injector = None
+        assert link._fast
+
+    def test_slow_path_delivers_identically(self):
+        """With a no-op tap forcing the slow path, arrival times and
+        packets match the fast path exactly."""
+
+        def run(slow):
+            sim = Simulator()
+            _, b, ia, _, link = make_pair(sim)
+            if slow:
+                link.taps.append(lambda src, pkt: None)
+            assert link._fast is (not slow)
+            for _ in range(3):
+                ia.send(make_udp_packet())
+            sim.run()
+            return [(t, p.pack()) for t, p in b.received]
+
+        assert run(slow=False) == run(slow=True)
+
+    def test_foreign_interface_rejected_on_both_paths(self):
+        sim = Simulator()
+        *_, link = make_pair(sim)
+        stranger = SinkNode(sim, "s").add_interface("eth0", "02:00:00:00:00:ff")
+        with pytest.raises(ValueError):
+            link.carry(stranger, make_udp_packet())
+        link.taps.append(lambda src, pkt: None)  # force slow path
+        with pytest.raises(ValueError):
+            link.carry(stranger, make_udp_packet())
+
+
 def test_interface_without_link_raises():
     sim = Simulator()
     node = SinkNode(sim, "lonely")

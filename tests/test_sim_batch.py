@@ -1,0 +1,309 @@
+"""Batch-kernel specifics: dispatch, cohort draining, delivery coalescing.
+
+The generic kernel contract runs over both kernels in
+``test_sim_simulator.py``; this module covers what only the batch kernel
+does — the ``Simulator()`` dispatch machinery, fire-and-forget ``post``
+entries, adjacency-based delivery coalescing, and the columnar calendar's
+introspection — plus randomized cross-kernel equivalence.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.batch import BatchSimulator
+from repro.sim.simulator import (
+    KERNELS,
+    SimulationError,
+    Simulator,
+    default_kernel,
+    kernel_mode,
+    set_default_kernel,
+)
+
+
+# -- kernel selection ---------------------------------------------------------
+
+
+def test_default_kernel_is_scalar():
+    assert default_kernel() == "scalar"
+    assert type(Simulator()) is Simulator
+    assert Simulator().kernel == "scalar"
+
+
+def test_explicit_kernel_argument():
+    assert type(Simulator(kernel="batch")) is BatchSimulator
+    assert Simulator(kernel="batch").kernel == "batch"
+    assert type(Simulator(kernel="scalar")) is Simulator
+
+
+def test_kernel_mode_scopes_the_default():
+    with kernel_mode("batch"):
+        assert default_kernel() == "batch"
+        assert type(Simulator()) is BatchSimulator
+        # An explicit choice still beats the ambient default.
+        assert type(Simulator(kernel="scalar")) is Simulator
+    assert default_kernel() == "scalar"
+    assert type(Simulator()) is Simulator
+
+
+def test_kernel_mode_restores_on_error():
+    with pytest.raises(RuntimeError, match="boom"):
+        with kernel_mode("batch"):
+            raise RuntimeError("boom")
+    assert default_kernel() == "scalar"
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(SimulationError):
+        set_default_kernel("vectorized")
+    with pytest.raises(SimulationError):
+        Simulator(kernel="vectorized")
+    assert "scalar" in KERNELS and "batch" in KERNELS
+
+
+def test_direct_subclass_construction_ignores_default():
+    # Constructing the subclass directly never consults the default.
+    assert type(BatchSimulator()) is BatchSimulator
+    with kernel_mode("batch"):
+        assert type(BatchSimulator()) is BatchSimulator
+
+
+# -- post / post_delivery ------------------------------------------------------
+
+
+@pytest.fixture(params=["scalar", "batch"])
+def sim(request):
+    return Simulator(kernel=request.param)
+
+
+def test_post_orders_with_scheduled_events(sim):
+    out = []
+    sim.schedule(5.0, out.append, "sched-1")
+    sim.post(5.0, out.append, "post")
+    sim.schedule(5.0, out.append, "sched-2")
+    sim.post(5.0, lambda: out.append("post-noargs"))
+    sim.run()
+    assert out == ["sched-1", "post", "sched-2", "post-noargs"]
+
+
+def test_post_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.post(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.post_delivery(-1.0, None, None)
+
+
+def test_posted_events_count_as_active(sim):
+    sim.post(5.0, lambda: None)
+    sim.post(5.0, lambda _arg: None, "arg")
+    assert sim.active_events == 2
+    sim.run()
+    assert sim.active_events == 0
+    assert sim.events_processed == 2
+
+
+class _FakeInterface:
+    """Records every deliver/deliver_batch call, preserving call shape."""
+
+    def __init__(self, name="if0"):
+        self.name = name
+        self.calls = []
+
+    def deliver(self, packet):
+        self.calls.append(("deliver", packet))
+
+    def deliver_batch(self, packets):
+        self.calls.append(("deliver_batch", list(packets)))
+
+
+def test_post_delivery_fires_deliver(sim):
+    iface = _FakeInterface()
+    sim.post_delivery(10.0, iface, "pkt")
+    sim.run()
+    assert iface.calls == [("deliver", "pkt")]
+    assert sim.events_processed == 1
+
+
+def test_adjacent_same_interface_deliveries_coalesce():
+    sim = BatchSimulator()
+    iface = _FakeInterface()
+    for n in range(3):
+        sim.post_delivery(10.0, iface, f"pkt{n}")
+    sim.run()
+    assert iface.calls == [("deliver_batch", ["pkt0", "pkt1", "pkt2"])]
+    # Each packet still counts as one fired event.
+    assert sim.events_processed == 3
+
+
+def test_interleaved_event_breaks_the_coalescing_run():
+    sim = BatchSimulator()
+    iface = _FakeInterface()
+    out = []
+    sim.post_delivery(10.0, iface, "a")
+    sim.post_delivery(10.0, iface, "b")
+    sim.post(10.0, out.append, "between")
+    sim.post_delivery(10.0, iface, "c")
+    sim.run()
+    # a+b coalesce; the posted callback fires between them and c, exactly
+    # as scheduling order dictates; the lone c arrives via deliver().
+    assert iface.calls == [("deliver_batch", ["a", "b"]), ("deliver", "c")]
+    assert out == ["between"]
+
+
+def test_different_interfaces_do_not_coalesce():
+    sim = BatchSimulator()
+    left, right = _FakeInterface("left"), _FakeInterface("right")
+    sim.post_delivery(10.0, left, "L1")
+    sim.post_delivery(10.0, right, "R1")
+    sim.post_delivery(10.0, left, "L2")
+    sim.run()
+    assert left.calls == [("deliver", "L1"), ("deliver", "L2")]
+    assert right.calls == [("deliver", "R1")]
+
+
+def test_different_timestamps_never_coalesce():
+    sim = BatchSimulator()
+    iface = _FakeInterface()
+    sim.post_delivery(10.0, iface, "t10")
+    sim.post_delivery(20.0, iface, "t20")
+    sim.run()
+    assert iface.calls == [("deliver", "t10"), ("deliver", "t20")]
+
+
+def test_bounded_run_does_not_coalesce():
+    # The deadline/budget path must stay per-event so slice-by-slice runs
+    # match a straight run event for event.
+    sim = BatchSimulator()
+    iface = _FakeInterface()
+    for n in range(4):
+        sim.post_delivery(10.0, iface, n)
+    sim.run(max_events=2)
+    assert iface.calls == [("deliver", 0), ("deliver", 1)]
+    sim.run()
+    # The unbounded drain of the remainder coalesces again — same
+    # packets, same order, one callback.
+    assert iface.calls[2:] == [("deliver_batch", [2, 3])]
+
+
+def test_zero_delay_post_lands_after_current_cohort():
+    sim = BatchSimulator()
+    out = []
+
+    def first():
+        out.append("first")
+        sim.post(0.0, out.append, "reposted")
+
+    sim.post(5.0, first)
+    sim.post(5.0, out.append, "second")
+    sim.run()
+    assert out == ["first", "second", "reposted"]
+
+
+# -- columnar introspection ----------------------------------------------------
+
+
+def test_times_lane_is_typed_and_sorted():
+    sim = BatchSimulator()
+    for t in (30.0, 10.0, 20.0, 10.0):
+        sim.post(t, lambda: None)
+    lane = sim.times_lane()
+    assert lane.typecode == "d"
+    assert list(lane) == [10.0, 20.0, 30.0]  # distinct timestamps only
+    sim.run()
+    assert list(sim.times_lane()) == []
+
+
+def test_active_events_excludes_cancelled_in_buckets():
+    sim = BatchSimulator()
+    live = sim.schedule(5.0, lambda: None)
+    doomed = [sim.schedule(5.0, lambda: None) for _ in range(4)]
+    sim.post(5.0, lambda: None)
+    for event in doomed:
+        event.cancel()
+    assert sim.active_events == 2
+    assert sim.pending_events == 2
+    live.cancel()
+    assert sim.active_events == 1
+
+
+def test_step_drains_cohorts_one_event_at_a_time():
+    sim = BatchSimulator()
+    out = []
+    for n in range(3):
+        sim.post(5.0, out.append, n)
+    assert sim.step() is True
+    assert out == [0]
+    assert sim.active_events == 2
+    while sim.step():
+        pass
+    assert out == [0, 1, 2]
+    assert sim.step() is False
+
+
+# -- cross-kernel equivalence --------------------------------------------------
+
+
+def _mixed_workload(sim, seed):
+    """Random mix of schedule/post/cancel/nesting; returns the firing log."""
+    rng = random.Random(seed)
+    out = []
+    handles = []
+
+    def fire(tag):
+        out.append((sim.now, tag))
+        if rng.random() < 0.3:
+            sim.post(rng.choice([0.0, 1.0, 5.0]), fire, f"{tag}/p")
+        if rng.random() < 0.2:
+            handles.append(sim.schedule(rng.choice([0.0, 2.0]), fire, f"{tag}/s"))
+        if handles and rng.random() < 0.25:
+            handles.pop(rng.randrange(len(handles))).cancel()
+
+    for n in range(40):
+        delay = rng.choice([0.0, 1.0, 1.0, 5.0, 7.5])
+        if rng.random() < 0.5:
+            sim.post(delay, fire, f"root{n}")
+        else:
+            handles.append(sim.schedule(delay, fire, f"root{n}"))
+    sim.run(max_events=2000)
+    sim.run()
+    return out
+
+
+@pytest.mark.parametrize("seed", [42, 7, 1234])
+def test_kernels_fire_identically_on_random_workloads(seed):
+    scalar = _mixed_workload(Simulator(), seed)
+    batch = _mixed_workload(BatchSimulator(), seed)
+    assert scalar == batch
+    assert len(scalar) > 40
+
+
+@pytest.mark.parametrize("seed", [3, 99])
+def test_kernels_agree_under_sliced_runs(seed):
+    def sliced(sim):
+        log = _prime(sim, seed)
+        while sim.active_events:
+            sim.run(until_ns=sim.now + 2.0)
+        return log
+
+    def straight(sim):
+        log = _prime(sim, seed)
+        sim.run()
+        return log
+
+    def _prime(sim, seed):
+        rng = random.Random(seed)
+        out = []
+
+        def fire(tag):
+            out.append((sim.now, tag))
+            if rng.random() < 0.4:
+                sim.post(rng.choice([0.0, 1.5, 3.0]), fire, tag + "'")
+
+        for n in range(30):
+            sim.post(rng.choice([0.0, 1.0, 4.0]), fire, str(n))
+        return out
+
+    assert sliced(Simulator()) == sliced(BatchSimulator())
+    assert straight(Simulator()) == straight(BatchSimulator())
+    assert sliced(Simulator()) == straight(Simulator())

@@ -1,8 +1,18 @@
-"""Tests for the discrete-event simulator kernel."""
+"""Tests for the discrete-event simulator kernel.
+
+The ``sim`` fixture override below runs this whole module against BOTH
+kernels — every contract here (ordering, cancellation, deadlines,
+budgets, reentrancy) is kernel-independent by design.
+"""
 
 import pytest
 
 from repro.sim.simulator import SimulationError, Simulator
+
+
+@pytest.fixture(params=["scalar", "batch"])
+def sim(request) -> Simulator:
+    return Simulator(kernel=request.param)
 
 
 def test_clock_starts_at_zero(sim):

@@ -31,19 +31,26 @@ from repro.rdma.headers import (
 from repro.rdma.packets import convert_to_rocev1
 from repro.switches.hashing import FiveTuple
 from repro.workloads.perftest import RawEthernetBw
+from repro.sim.simulator import kernel_mode
 from repro.sim.units import gbps
 
 
 class WireChecker:
-    """Link tap: packs each packet, re-parses, compares layer by layer."""
+    """Link tap: packs each packet, re-parses, compares layer by layer.
+
+    Also keeps every packed frame (``self.raw``) so cross-kernel runs can
+    assert the wire bytes are identical, not merely well-formed.
+    """
 
     def __init__(self, link):
         self.checked = 0
         self.roce_checked = 0
+        self.raw: list = []
         link.taps.append(self._tap)
 
     def _tap(self, src, packet: Packet) -> None:
         raw = packet.pack()
+        self.raw.append(raw)
         parsed = Packet.parse(raw)
         assert parsed.eth == packet.eth
         ip = packet.find(Ipv4Header)
@@ -67,61 +74,112 @@ class WireChecker:
         self.checked += 1
 
 
-def test_state_store_traffic_is_byte_faithful():
-    tb = build_testbed(n_hosts=2)
-    program = CountingProgram()
-    for host, port in zip(tb.hosts, tb.host_ports):
-        program.install(host.eth.mac, port)
-    tb.switch.bind_program(program)
-    config = StateStoreConfig(counters=1 << 10)
-    channel = tb.controller.open_channel(
-        tb.memory_server, tb.server_port, config.counters * 8
-    )
-    store = RemoteStateStore(tb.switch, channel, config=config)
-    program.use_state_store(store)
-    checker = WireChecker(tb.server_link)
-    gen = RawEthernetBw(
-        tb.sim, tb.hosts[0], tb.hosts[1],
-        packet_size=256, rate_bps=gbps(10), count=50,
-    )
-    gen.start()
-    tb.sim.run()
+def _reset_global_id_counters():
+    """Pin the process-global ID counters to a fixed origin.
+
+    rkeys come from a process-wide ``itertools.count`` (as on a real host,
+    where keys are never reused), so two runs in one process hand out
+    different rkeys — and rkeys appear in RETH bytes.  Byte-identity tests
+    across kernel modes must therefore restart the counters per run; the
+    per-run simulation itself stays fully deterministic.
+    """
+    import itertools
+
+    from repro.rdma import memory as rdma_memory
+    from repro.rdma import qp as rdma_qp
+
+    rdma_memory._rkey_counter = itertools.count(0x1000)
+    rdma_qp._wr_ids = itertools.count(1)
+
+
+def _run_state_store_traffic(mode):
+    _reset_global_id_counters()
+    with kernel_mode(mode):
+        tb = build_testbed(n_hosts=2)
+        program = CountingProgram()
+        for host, port in zip(tb.hosts, tb.host_ports):
+            program.install(host.eth.mac, port)
+        tb.switch.bind_program(program)
+        config = StateStoreConfig(counters=1 << 10)
+        channel = tb.controller.open_channel(
+            tb.memory_server, tb.server_port, config.counters * 8
+        )
+        store = RemoteStateStore(tb.switch, channel, config=config)
+        program.use_state_store(store)
+        checker = WireChecker(tb.server_link)
+        gen = RawEthernetBw(
+            tb.sim, tb.hosts[0], tb.hosts[1],
+            packet_size=256, rate_bps=gbps(10), count=50,
+        )
+        gen.start()
+        tb.sim.run()
+    return checker
+
+
+@pytest.mark.parametrize("mode", ["scalar", "batch"])
+def test_state_store_traffic_is_byte_faithful(mode):
+    checker = _run_state_store_traffic(mode)
     assert checker.roce_checked > 0
     # Every packet on the server link is RoCE (requests + atomic acks).
     assert checker.roce_checked == checker.checked
 
 
-def test_lookup_bounce_traffic_is_byte_faithful():
-    tb = build_testbed(n_hosts=2)
-    program = RemoteLookupProgram()
-    for host, port in zip(tb.hosts, tb.host_ports):
-        program.install(host.eth.mac, port)
-    tb.switch.bind_program(program)
-    config = LookupTableConfig(entries=1 << 10, cache_entries=0)
-    channel = tb.controller.open_channel(
-        tb.memory_server, tb.server_port, config.entries * config.entry_bytes
-    )
-    table = RemoteLookupTable(tb.switch, channel, config=config)
-    program.use_lookup_table(table)
-    flow = FiveTuple(
-        src_ip=tb.hosts[0].eth.ip.value,
-        dst_ip=tb.hosts[1].eth.ip.value,
-        protocol=17,
-        src_port=10_000,
-        dst_port=20_000,
-    )
-    table.install(flow, RemoteAction(ACTION_SET_DSCP, 9))
-    server_checker = WireChecker(tb.server_link)
-    host_checker = WireChecker(tb.host_links[1])
-    gen = RawEthernetBw(
-        tb.sim, tb.hosts[0], tb.hosts[1],
-        packet_size=512, rate_bps=gbps(5), count=20,
-    )
-    gen.start()
-    tb.sim.run()
+def test_state_store_traffic_identical_across_kernels():
+    """Seed-fixed run: the exact bytes crossing the server link must match
+    between kernels, packet for packet."""
+    scalar = _run_state_store_traffic("scalar")
+    batch = _run_state_store_traffic("batch")
+    assert scalar.raw == batch.raw
+    assert len(scalar.raw) == scalar.checked
+
+
+def _run_lookup_bounce_traffic(mode):
+    _reset_global_id_counters()
+    with kernel_mode(mode):
+        tb = build_testbed(n_hosts=2)
+        program = RemoteLookupProgram()
+        for host, port in zip(tb.hosts, tb.host_ports):
+            program.install(host.eth.mac, port)
+        tb.switch.bind_program(program)
+        config = LookupTableConfig(entries=1 << 10, cache_entries=0)
+        channel = tb.controller.open_channel(
+            tb.memory_server, tb.server_port,
+            config.entries * config.entry_bytes,
+        )
+        table = RemoteLookupTable(tb.switch, channel, config=config)
+        program.use_lookup_table(table)
+        flow = FiveTuple(
+            src_ip=tb.hosts[0].eth.ip.value,
+            dst_ip=tb.hosts[1].eth.ip.value,
+            protocol=17,
+            src_port=10_000,
+            dst_port=20_000,
+        )
+        table.install(flow, RemoteAction(ACTION_SET_DSCP, 9))
+        server_checker = WireChecker(tb.server_link)
+        host_checker = WireChecker(tb.host_links[1])
+        gen = RawEthernetBw(
+            tb.sim, tb.hosts[0], tb.hosts[1],
+            packet_size=512, rate_bps=gbps(5), count=20,
+        )
+        gen.start()
+        tb.sim.run()
+    return server_checker, host_checker
+
+
+@pytest.mark.parametrize("mode", ["scalar", "batch"])
+def test_lookup_bounce_traffic_is_byte_faithful(mode):
+    server_checker, host_checker = _run_lookup_bounce_traffic(mode)
     # 20 bounces: WRITE + READ per packet toward the server, plus responses.
     assert server_checker.roce_checked >= 60
     assert host_checker.checked == 20
+
+
+def test_lookup_bounce_traffic_identical_across_kernels():
+    scalar_server, scalar_host = _run_lookup_bounce_traffic("scalar")
+    batch_server, batch_host = _run_lookup_bounce_traffic("batch")
+    assert scalar_server.raw == batch_server.raw
+    assert scalar_host.raw == batch_host.raw
 
 
 class TestGrh:
