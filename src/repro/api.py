@@ -87,6 +87,31 @@ from .core.state_store import (
 )
 from .core.rocegen import RoceRequestGenerator
 
+# -- cuckoo remote layout (DESIGN.md §12) ------------------------------------
+from .cuckoo import (
+    ChoiceFilter,
+    CuckooConfig,
+    CuckooDataPlane,
+    CuckooDirectory,
+    CuckooFullError,
+    Move,
+    SlotRef,
+)
+
+# -- SRAM cache policies (DESIGN.md §12) -------------------------------------
+from .core.cache_policy import (
+    CACHE_POLICIES,
+    CachePolicy,
+    FifoCachePolicy,
+    LfuCachePolicy,
+    LruCachePolicy,
+    PinningCachePolicy,
+    make_cache_policy,
+)
+
+# -- million-flow workloads (DESIGN.md §12) ----------------------------------
+from .workloads.zipf import OpenLoopZipfTraffic, ZipfGenerator
+
 # -- switch programs --------------------------------------------------------
 from .apps.programs import (
     CountingProgram,
@@ -199,6 +224,25 @@ __all__ = [
     "StateStoreStats",
     "RemoteStateStore",
     "RoceRequestGenerator",
+    # cuckoo remote layout
+    "ChoiceFilter",
+    "CuckooConfig",
+    "CuckooDataPlane",
+    "CuckooDirectory",
+    "CuckooFullError",
+    "Move",
+    "SlotRef",
+    # SRAM cache policies
+    "CACHE_POLICIES",
+    "CachePolicy",
+    "FifoCachePolicy",
+    "LfuCachePolicy",
+    "LruCachePolicy",
+    "PinningCachePolicy",
+    "make_cache_policy",
+    # million-flow workloads
+    "OpenLoopZipfTraffic",
+    "ZipfGenerator",
     # switch programs
     "CountingProgram",
     "PipelineContext",

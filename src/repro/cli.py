@@ -29,6 +29,11 @@ from .experiments.fig3a import format_fig3a, run_fig3a
 from .experiments.fig3b import format_fig3b, run_fig3b
 from .experiments.incast import format_incast, run_incast_comparison
 from .experiments.kv_cache import format_kv_cache, run_kv_cache_comparison
+from .experiments.lookup_scale import (
+    format_lookup_scaleout,
+    format_policy_curve,
+    run_lookup_scale,
+)
 from .experiments.overhead import format_overhead, run_overhead
 from .experiments.packet_buffer_rate import (
     format_packet_buffer_rate,
@@ -124,6 +129,23 @@ def _cmd_scaleout(args: argparse.Namespace) -> str:
     return "\n\n".join(sections)
 
 
+def _cmd_lookup_scale(args: argparse.Namespace) -> str:
+    study = run_lookup_scale(
+        server_counts=_scaleout_counts(args.servers),
+        population=args.flows,
+        count=args.packets,
+        alpha=args.alpha,
+        seed=args.seed,
+        entries=args.entries,
+    )
+    return "\n\n".join(
+        [
+            format_policy_curve(study.policy_curve),
+            format_lookup_scaleout(study.scaleout),
+        ]
+    )
+
+
 def _cmd_chaos(args: argparse.Namespace) -> str:
     if args.recover:
         report = run_chaos_recovery(packets=args.packets, seed=args.seed)
@@ -199,6 +221,15 @@ def _cmd_all(args: argparse.Namespace) -> str:
             )
         ),
     ]
+    study = run_lookup_scale(
+        server_counts=(1, 2) if quick else (1, 2, 4),
+        cache_sizes=(256,) if quick else (256, 1024, 4096),
+        population=100_000 if quick else 1_000_000,
+        count=2000 if quick else 20_000,
+        entries=1 << 12 if quick else 1 << 14,
+    )
+    sections.append(format_policy_curve(study.policy_curve))
+    sections.append(format_lookup_scaleout(study.scaleout))
     return "\n\n".join(sections)
 
 
@@ -295,6 +326,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lookups-per-host", type=int, default=1200)
     p.add_argument("--failover-packets", type=int, default=4000)
     p.set_defaults(fn=_cmd_scaleout)
+
+    p = sub.add_parser(
+        "lookup-scale",
+        help=(
+            "EMOMA-scale lookup: Zipf flow populations over the cuckoo "
+            "layout; cache-policy curves + sustained miss throughput"
+        ),
+    )
+    p.add_argument(
+        "--flows", type=int, default=1_000_000, help="Zipf flow population"
+    )
+    p.add_argument(
+        "--packets", type=int, default=20_000, help="packets per run"
+    )
+    p.add_argument("--alpha", type=float, default=1.0, help="Zipf skew")
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument(
+        "--servers", type=int, default=4, help="largest pool size to sweep"
+    )
+    p.add_argument(
+        "--entries", type=int, default=1 << 14, help="remote table slots"
+    )
+    p.set_defaults(fn=_cmd_lookup_scale)
 
     p = sub.add_parser(
         "chaos",

@@ -103,7 +103,7 @@ class ShardedLookupTable:
 
     @property
     def region_bytes_per_member(self) -> int:
-        return self.config.entries * self.config.entry_bytes
+        return self.config.region_bytes
 
     def _open_shard(self, member: PoolMember) -> RemoteLookupTable:
         channel = self.pool.open_channel(

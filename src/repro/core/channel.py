@@ -184,6 +184,39 @@ class RdmaChannelController:
             if channel.region in channel.server.lent_regions:
                 channel.server.lent_regions.remove(channel.region)
 
+    def install_hash_seeds(self, table, seed: int) -> "list[tuple[int, int]]":
+        """Install the cuckoo bucket-hash seeds into *table*'s data plane.
+
+        The §3 hand-off extended to the cuckoo layout: besides the
+        channel tuple (QPN, rkey, base address), the data plane needs
+        the two bucket-hash seeds ``(seed0, seed1)`` before it can
+        compute pair indices.  The controller derives both from *seed*
+        and pushes them through the same control-plane API the channel
+        information rides — only legal while the table holds no flows.
+
+        Accepts a :class:`~repro.core.lookup_table.RemoteLookupTable`
+        with ``layout="cuckoo"`` or a sharded table (every shard is
+        reseeded identically).  Returns the installed ``(seed0, seed1)``
+        per (shard) table.
+        """
+        shards = getattr(table, "shards", None)
+        targets = list(shards.values()) if shards is not None else [table]
+        if not targets:
+            raise ChannelError("no shards to install hash seeds into")
+        installed = []
+        for target in targets:
+            install = getattr(target, "install_seeds", None)
+            if install is None:
+                raise ChannelError(
+                    f"{type(target).__name__} has no cuckoo data plane to "
+                    "seed (need layout='cuckoo')"
+                )
+            try:
+                installed.append(install(seed))
+            except ValueError as exc:
+                raise ChannelError(str(exc)) from exc
+        return installed
+
     def reconnect_channel(self, channel: RemoteMemoryChannel) -> None:
         """Tear down and re-open the channel's QP pair on the same region.
 

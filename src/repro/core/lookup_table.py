@@ -36,8 +36,9 @@ from __future__ import annotations
 import struct
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple
 
+from ..cuckoo import CuckooConfig, CuckooDirectory
 from ..net.addresses import Ipv4Address
 from ..net.headers import Ipv4Header
 from ..net.packet import Packet
@@ -47,7 +48,7 @@ from .._deprecation import warn_once
 from ..switches.hashing import FiveTuple, crc16
 from ..switches.pipeline import PipelineContext
 from ..switches.switch import ProgrammableSwitch
-from ..switches.tables import ActionEntry, ExactMatchTable, TableFullError
+from .cache_policy import CachePolicy, make_cache_policy
 from .channel import RemoteMemoryChannel
 from .rocegen import RoceRequestGenerator
 
@@ -99,10 +100,49 @@ class LookupTableConfig:
     cache_fill: bool = True
     #: "bounce" (deposit packet remotely, §4) or "recirculate" (§7 option).
     mode: str = "bounce"
+    #: "direct" — one hash, one entry per index (the original layout) —
+    #: or "cuckoo" — EMOMA bucket pairs, every miss one READ, no
+    #: bounce-retry on collision (repro.cuckoo).
+    layout: str = "direct"
+    #: Master seed for the cuckoo bucket hashes / choice filter / kick RNG.
+    hash_seed: int = 0
+    #: Cuckoo geometry (total slot capacity stays ``entries``).
+    slots_per_bucket: int = 4
+    max_kicks: int = 64
+    max_relocations: int = 256
+    #: SRAM cache eviction policy: "fifo" (original), "lru", "lfu", "pin".
+    cache_policy: str = "fifo"
+    #: Seed for policy randomness (the pinning policy's threshold jitter).
+    cache_seed: int = 0
+    #: Base promotion threshold for the "pin" policy.
+    pin_threshold: int = 4
 
     @property
     def entry_bytes(self) -> int:
         return ACTION_BYTES + self.packet_slot_bytes
+
+    # -- cuckoo geometry -------------------------------------------------------
+
+    @property
+    def pairs(self) -> int:
+        """Bucket pairs per subtable; slot capacity stays ``entries``."""
+        return max(1, self.entries // (2 * self.slots_per_bucket))
+
+    @property
+    def bucket_pair_bytes(self) -> int:
+        """Action slots of both buckets, before the shared packet slot."""
+        return 2 * self.slots_per_bucket * ACTION_BYTES
+
+    @property
+    def pair_bytes(self) -> int:
+        return self.bucket_pair_bytes + self.packet_slot_bytes
+
+    @property
+    def region_bytes(self) -> int:
+        """Server memory the chosen layout needs."""
+        if self.layout == "cuckoo":
+            return self.pairs * self.pair_bytes
+        return self.entries * self.entry_bytes
 
 
 @dataclass
@@ -118,6 +158,17 @@ class LookupTableStats:
     #: Lookups (and, in bounce mode, their packets) lost to RDMA drops —
     #: §7: "an RDMA packet drop would lead to dropping the original packet".
     lookups_lost: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """SRAM cache hit rate: local hits over all resolved lookups.
+
+        A property, not a field: :class:`ShardedLookupTable` sums the
+        dataclass *fields* shard by shard, and a ratio must be recomputed
+        from the summed counters, never added.
+        """
+        lookups = self.local_hits + self.remote_lookups
+        return self.local_hits / lookups if lookups else 0.0
 
 
 def fingerprint_of(flow: FiveTuple) -> int:
@@ -150,11 +201,13 @@ class RemoteLookupTable:
         self.config = config if config is not None else LookupTableConfig()
         if self.config.mode not in ("bounce", "recirculate"):
             raise ValueError(f"unknown mode: {self.config.mode!r}")
-        needed = self.config.entries * self.config.entry_bytes
+        if self.config.layout not in ("direct", "cuckoo"):
+            raise ValueError(f"unknown layout: {self.config.layout!r}")
+        needed = self.config.region_bytes
         if needed > channel.length:
             raise ValueError(
-                f"{self.config.entries} entries x {self.config.entry_bytes} B "
-                f"= {needed} B exceed the channel's {channel.length} B"
+                f"layout {self.config.layout!r} needs {needed} B, exceeding "
+                f"the channel's {channel.length} B"
             )
         self.default_action = (
             default_action
@@ -182,11 +235,37 @@ class RemoteLookupTable:
         # default action instead of bouncing packets into a dead channel.
         self._degraded = False
         self.metrics.gauge("degraded", fn=lambda: int(self._degraded))
-        self.cache: Optional[ExactMatchTable] = (
-            ExactMatchTable("lookup.cache", self.config.cache_entries)
+        self.metrics.gauge("hit_rate", fn=self._cache_hit_rate)
+        self.cache: Optional[CachePolicy] = (
+            make_cache_policy(
+                self.config.cache_policy,
+                self.config.cache_entries,
+                scope=self.metrics.child("cache"),
+                seed=self.config.cache_seed,
+                pin_threshold=self.config.pin_threshold,
+            )
             if self.config.cache_entries > 0
             else None
         )
+        # Cuckoo layout (repro.cuckoo): the control-plane directory owns
+        # placement; the data plane keeps only the two hash seeds and the
+        # on-chip choice filter.  ``install_seeds`` / the controller's
+        # ``install_hash_seeds`` can reseed while the table is empty.
+        self.directory: Optional[CuckooDirectory] = None
+        self.dataplane = None
+        self._installed: Dict[FiveTuple, RemoteAction] = {}
+        if self.config.layout == "cuckoo":
+            self._build_directory(self.config.hash_seed)
+            cuckoo_scope = self.metrics.child("cuckoo")
+            cuckoo_scope.gauge("keys", fn=lambda: len(self.directory))
+            cuckoo_scope.gauge("load", fn=lambda: self.directory.load)
+            cuckoo_scope.gauge("kicks", fn=lambda: self.directory.kicks)
+            cuckoo_scope.gauge(
+                "relocations", fn=lambda: self.directory.relocations
+            )
+            cuckoo_scope.gauge(
+                "failed_inserts", fn=lambda: self.directory.failed_inserts
+            )
         # In-flight lookups, issue order.  Each entry records its READ's
         # PSN so responses are matched exactly (a FIFO popleft would
         # misalign after go-back-N losses discard a window of lookups).
@@ -220,6 +299,10 @@ class RemoteLookupTable:
             lookups_lost=self._m_lookups_lost.value,
         )
 
+    def _cache_hit_rate(self) -> float:
+        lookups = self._m_local_hits.value + self._m_remote_lookups.value
+        return self._m_local_hits.value / lookups if lookups else 0.0
+
     # -- control plane: populating the remote table ---------------------------------
 
     def key_of(self, packet: Packet) -> FiveTuple:
@@ -227,27 +310,115 @@ class RemoteLookupTable:
         return self.flow_of(packet)
 
     def index_of(self, flow: FiveTuple) -> int:
+        """The index the data plane READs for *flow*.
+
+        Direct layout: ``hash % entries``.  Cuckoo layout: the pair the
+        choice filter selects (``h1`` on positive, ``h0`` on negative) —
+        always the pair actually holding the flow, by the invariant.
+        """
         if isinstance(flow, Packet):
             warn_once(
                 f"{type(self).__name__}.index_of(packet) is deprecated; "
                 "use index_of(key_of(packet))"
             )
             flow = self.key_of(flow)
+        if self.dataplane is not None:
+            return self.dataplane.read_index(flow.pack())
         return flow.hash() % self.config.entries
 
     def entry_address(self, index: int) -> int:
+        """Base address of indexed unit *index* (entry or bucket pair)."""
+        if self.config.layout == "cuckoo":
+            return self.channel.base_address + index * self.config.pair_bytes
         return self.channel.base_address + index * self.config.entry_bytes
+
+    def _build_directory(self, seed: int) -> None:
+        self.directory = CuckooDirectory(
+            CuckooConfig(
+                pairs=self.config.pairs,
+                slots_per_bucket=self.config.slots_per_bucket,
+                seed=seed,
+                max_kicks=self.config.max_kicks,
+                max_relocations=self.config.max_relocations,
+            ),
+            packer=lambda flow: flow.pack(),
+        )
+        self.dataplane = self.directory.dataplane
+
+    def install_seeds(self, seed: int) -> Tuple[int, int]:
+        """Reseed the cuckoo hashes; only legal while the table is empty.
+
+        Returns the derived ``(seed0, seed1)`` pair the data plane now
+        uses.  Called by the controller's ``install_hash_seeds`` — the
+        §3-style control-plane hand-off of channel *and* hash state.
+        """
+        if self.directory is None:
+            raise ValueError(
+                "install_seeds requires layout='cuckoo' "
+                f"(this table is {self.config.layout!r})"
+            )
+        if len(self.directory) > 0:
+            raise ValueError(
+                "cannot reseed a populated cuckoo table: "
+                f"{len(self.directory)} flows already placed"
+            )
+        self._build_directory(seed)
+        return self.dataplane.seed0, self.dataplane.seed1
+
+    def _slot_address(self, ref) -> int:
+        """Server address of one cuckoo action slot."""
+        pair_base = self.entry_address(ref.index)
+        offset = (ref.table * self.config.slots_per_bucket + ref.slot)
+        return pair_base + offset * ACTION_BYTES
 
     def install(self, flow: FiveTuple, action: RemoteAction) -> int:
         """Control-plane write of *action* for *flow* into the remote table.
 
-        Returns the entry index.  (The controller writes through its own
-        channel to the server; modelled as a direct region write.)
+        Returns the entry index (direct) or final pair index (cuckoo).
+        (The controller writes through its own channel to the server;
+        modelled as a direct region write.)  Cuckoo inserts may relocate
+        other flows; every move is mirrored remotely — new slots written
+        first, vacated slots zeroed after — and the whole batch lands
+        between packets, so the data plane never observes a torn pair.
+        Raises :class:`~repro.cuckoo.CuckooFullError` (with the
+        directory rolled back) when placement is impossible.
         """
+        if self.directory is not None:
+            return self._install_cuckoo(flow, action)
         index = self.index_of(flow)
         data = action.pack_with(fingerprint_of(flow))
         self.channel.region.write(self.entry_address(index), data)
         return index
+
+    def _install_cuckoo(self, flow: FiveTuple, action: RemoteAction) -> int:
+        moves = self.directory.insert(flow)  # may raise CuckooFullError
+        self._installed[flow] = action
+        if not moves:  # re-install: rewrite the entry in place
+            ref = self.directory.location[flow]
+            self.channel.region.write(
+                self._slot_address(ref),
+                action.pack_with(fingerprint_of(flow)),
+            )
+            return ref.index
+        written = set()
+        for move in moves:
+            moved_action = self._installed[move.key]
+            self.channel.region.write(
+                self._slot_address(move.dst),
+                moved_action.pack_with(fingerprint_of(move.key)),
+            )
+            written.add(move.dst)
+        for move in moves:
+            src = move.src
+            if (
+                src is not None
+                and src not in written
+                and self.directory.slot_key(src) is None
+            ):
+                self.channel.region.write(
+                    self._slot_address(src), b"\x00" * ACTION_BYTES
+                )
+        return self.directory.location[flow].index
 
     # -- data plane ---------------------------------------------------------------
 
@@ -261,12 +432,11 @@ class RemoteLookupTable:
         """
         flow = self.flow_of(packet)
         if self.cache is not None:
-            cached = self.cache.lookup(flow)
-            if cached is not None:
+            action = self.cache.lookup(flow)
+            if action is not None:
                 self._m_local_hits.inc()
                 if self._degraded:
                     self._m_degraded_hits.inc()
-                action = cached.params["remote_action"]
                 self._apply(ctx, packet, action)
                 return True
         if self._degraded:
@@ -295,6 +465,15 @@ class RemoteLookupTable:
         self._m_remote_lookups.inc()
         index = self.index_of(flow)
         address = self.entry_address(index)
+        # Direct layout READs one action; cuckoo READs the whole bucket
+        # pair (2 x slots_per_bucket actions) in the same single request —
+        # the choice filter already picked the index, so there is never a
+        # second READ, collision or not.
+        action_bytes = (
+            self.config.bucket_pair_bytes
+            if self.config.layout == "cuckoo"
+            else ACTION_BYTES
+        )
         pending = {
             "flow": flow,
             "index": index,
@@ -303,7 +482,7 @@ class RemoteLookupTable:
         }
         if self.config.mode == "bounce":
             # (1) deposit the packet in the entry's slot, (2) read the
-            # whole (action, packet) entry back.
+            # whole (actions, packet) entry back.
             frame = packet.pack()
             slot_space = self.config.packet_slot_bytes
             if len(frame) > slot_space:
@@ -311,13 +490,13 @@ class RemoteLookupTable:
                     f"packet of {len(frame)} B exceeds the "
                     f"{slot_space} B packet slot"
                 )
-            self.rocegen.write(address + ACTION_BYTES, frame)
-            request = self.rocegen.read(address, ACTION_BYTES + len(frame))
+            self.rocegen.write(address + action_bytes, frame)
+            request = self.rocegen.read(address, action_bytes + len(frame))
         else:
             # §7 alternative: keep the packet recirculating locally and
-            # fetch only the 8-byte action.
+            # fetch only the action slots.
             pending["parked"] = packet
-            request = self.rocegen.read(address, ACTION_BYTES)
+            request = self.rocegen.read(address, action_bytes)
         pending["read_psn"] = request.require(BthHeader).psn
         self._pending.append(pending)
         ctx.drop()  # the original packet no longer proceeds on this pass
@@ -346,21 +525,10 @@ class RemoteLookupTable:
         pending = self._pending.popleft()
         self._m_latency.observe(self.switch.sim.now - pending["issued_at"])
         entry = packet.payload
-        valid, action, stored_fp = RemoteAction.unpack(entry)
         flow: FiveTuple = pending["flow"]
-        if not valid:
-            self._m_remote_invalid.inc()
-            action = self.default_action
-        elif stored_fp != fingerprint_of(flow):
-            # Another flow owns this index — do not apply its action.
-            self._m_fp_mismatches.inc()
-            action = self.default_action
-        else:
-            self._m_remote_hits.inc()
-            if self.cache is not None and self.config.cache_fill:
-                self._cache_fill(flow, action)
+        action, action_bytes = self._resolve_entry(entry, flow)
         if self.config.mode == "bounce":
-            original = Packet.parse(entry[ACTION_BYTES:])
+            original = Packet.parse(entry[action_bytes:])
             original.meta.update(pending["meta"])
         else:
             original = pending["parked"]
@@ -375,6 +543,53 @@ class RemoteLookupTable:
             # port; the response packet itself stays dropped.
             ctx.emit(original, port)
         return True
+
+    def _resolve_entry(
+        self, entry: bytes, flow: FiveTuple
+    ) -> Tuple[RemoteAction, int]:
+        """Decode the READ response into an action + header length.
+
+        Direct layout: one action slot at offset 0.  Cuckoo layout: scan
+        the ``2 x slots_per_bucket`` slots of the fetched bucket pair for
+        the one whose fingerprint matches *flow* — the pipeline-stage
+        analogue of a bucket compare, still within the same single READ.
+        """
+        expected_fp = fingerprint_of(flow)
+        if self.config.layout == "cuckoo":
+            action_bytes = self.config.bucket_pair_bytes
+            any_valid = False
+            for offset in range(0, action_bytes, ACTION_BYTES):
+                valid, action, stored_fp = RemoteAction.unpack(
+                    entry[offset:offset + ACTION_BYTES]
+                )
+                if not valid:
+                    continue
+                any_valid = True
+                if stored_fp == expected_fp:
+                    self._m_remote_hits.inc()
+                    if self.cache is not None and self.config.cache_fill:
+                        self._cache_fill(flow, action)
+                    return action, action_bytes
+            # Flow not present in its pair: occupied slots belong to
+            # other flows (a mismatch), an empty pair is simply invalid.
+            if any_valid:
+                self._m_fp_mismatches.inc()
+            else:
+                self._m_remote_invalid.inc()
+            return self.default_action, action_bytes
+        valid, action, stored_fp = RemoteAction.unpack(entry)
+        if not valid:
+            self._m_remote_invalid.inc()
+            action = self.default_action
+        elif stored_fp != expected_fp:
+            # Another flow owns this index — do not apply its action.
+            self._m_fp_mismatches.inc()
+            action = self.default_action
+        else:
+            self._m_remote_hits.inc()
+            if self.cache is not None and self.config.cache_fill:
+                self._cache_fill(flow, action)
+        return action, ACTION_BYTES
 
     def _handle_nak(self, packet: Packet) -> None:
         """One loss event → one resync: discard the rejected lookup suffix.
@@ -441,16 +656,11 @@ class RemoteLookupTable:
 
     def _cache_fill(self, flow: FiveTuple, action: RemoteAction) -> None:
         assert self.cache is not None
-        if self.cache.is_full and not self.cache.contains(flow):
-            self.cache.evict_oldest()
-            self._m_cache_evictions.inc()
-        try:
-            self.cache.insert(
-                flow, ActionEntry("remote", {"remote_action": action})
-            )
+        inserted, evicted = self.cache.admit(flow, action)
+        if evicted:
+            self._m_cache_evictions.inc(evicted)
+        if inserted:
             self._m_cache_inserts.inc()
-        except TableFullError:  # pragma: no cover - eviction above prevents it
-            pass
 
     def _mutate(
         self, ctx: PipelineContext, packet: Packet, action: RemoteAction

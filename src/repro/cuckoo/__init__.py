@@ -1,0 +1,32 @@
+"""EMOMA-style cuckoo layout for the remote lookup table.
+
+One RDMA READ per miss, deterministically: a 2-hash, 4-slot-bucket
+cuckoo table whose bucket pairs are adjacent in server memory, plus an
+on-chip counting Bloom "choice filter" that tells the data plane which
+pair to read.  See :mod:`repro.cuckoo.layout` for the invariant and
+:mod:`repro.cuckoo.filter` for the filter.
+"""
+
+from .filter import ChoiceFilter
+from .layout import (
+    T0,
+    T1,
+    CuckooConfig,
+    CuckooDataPlane,
+    CuckooDirectory,
+    CuckooFullError,
+    Move,
+    SlotRef,
+)
+
+__all__ = [
+    "ChoiceFilter",
+    "CuckooConfig",
+    "CuckooDataPlane",
+    "CuckooDirectory",
+    "CuckooFullError",
+    "Move",
+    "SlotRef",
+    "T0",
+    "T1",
+]

@@ -1,0 +1,482 @@
+"""Cuckoo bucket-pair layout: control-plane directory + data-plane view.
+
+The remote table becomes two logical subtables T0 and T1, each with
+``pairs`` buckets of ``slots_per_bucket`` action slots.  The two buckets
+with the same index are stored **adjacent** in server memory (a *bucket
+pair*), so one RDMA READ starting at the pair's base address covers all
+``2 x slots_per_bucket`` candidate slots::
+
+    pair i:  [ T0 bucket i | T1 bucket i | packet slot ]
+
+A key hashes to pair ``h0(key)`` (its T0 home) and pair ``h1(key)`` (its
+T1 home).  The data plane picks which pair to READ with the on-chip
+:class:`~repro.cuckoo.filter.ChoiceFilter`: query negative → pair
+``h0``, positive → pair ``h1``.  Because the control plane maintains the
+EMOMA invariant — T1 residents are always in the filter, T0 residents
+always query negative — the single READ deterministically lands on the
+bucket pair holding the key, whatever collisions occurred at insert
+time.  There is no bounce-retry path.
+
+The control plane (:class:`CuckooDirectory`) owns placement: a seeded,
+deterministic cuckoo insert with bounded kicks, plus the relocation
+cascade that repairs the invariant when a filter add flips an unrelated
+T0 resident positive.  Every slot change is reported as a
+:class:`Move` so the owning table can mirror it into server memory.
+Failed inserts are rolled back and raise :class:`CuckooFullError`
+instead of looping.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..switches.hashing import crc32
+from .filter import ChoiceFilter
+
+#: Subtable identifiers.
+T0 = 0
+T1 = 1
+
+
+class CuckooFullError(RuntimeError):
+    """Raised when an insert exhausts its kick/relocation budget.
+
+    The directory is rolled back to its pre-insert state first, so the
+    table stays consistent and the caller can shed the flow (or grow the
+    table) instead of spinning.
+    """
+
+
+@dataclass(frozen=True)
+class SlotRef:
+    """One action slot: ``(subtable, pair index, slot within bucket)``."""
+
+    table: int
+    index: int
+    slot: int
+
+
+@dataclass(frozen=True)
+class Move:
+    """A placement the remote table must mirror: write *key* at *dst*.
+
+    ``src`` is the slot the key vacated (``None`` for a fresh insert).
+    Moves from one :meth:`CuckooDirectory.insert` call apply atomically
+    between packets — the simulator's control-plane writes do not
+    interleave with data-plane reads, mirroring how a real control plane
+    quiesces a pair before rewriting it.
+    """
+
+    key: Any
+    src: Optional[SlotRef]
+    dst: SlotRef
+
+
+@dataclass
+class CuckooConfig:
+    """Geometry and determinism knobs for one cuckoo directory."""
+
+    #: Bucket pairs per subtable (total slots = pairs * 2 * slots_per_bucket).
+    pairs: int = 1 << 10
+    slots_per_bucket: int = 4
+    #: Master seed: bucket-hash seeds, filter probes, and victim choice
+    #: all derive from it, so layout is a pure function of (seed, inserts).
+    seed: int = 0
+    #: Kick chain length bound for one insert.
+    max_kicks: int = 64
+    #: Total placements (kicks + invariant relocations) bound per insert.
+    max_relocations: int = 256
+    #: Choice-filter cells (0 → four cells per slot).
+    cbf_cells: int = 0
+    cbf_hashes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.pairs <= 0:
+            raise ValueError(f"need at least one pair, got {self.pairs}")
+        if self.slots_per_bucket <= 0:
+            raise ValueError(
+                f"need at least one slot per bucket, got {self.slots_per_bucket}"
+            )
+
+    @property
+    def capacity(self) -> int:
+        return self.pairs * 2 * self.slots_per_bucket
+
+    @property
+    def filter_cells(self) -> int:
+        return self.cbf_cells if self.cbf_cells > 0 else 4 * self.capacity
+
+    def derived_seed(self, label: str) -> int:
+        return crc32(label.encode() + struct.pack("!Q", self.seed & (2**64 - 1)))
+
+
+def _default_packer(key: Any) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    return key.pack()
+
+
+class CuckooDataPlane:
+    """What the switch pipeline knows: two hash seeds and the filter.
+
+    The control plane installs ``seed0``/``seed1`` (via
+    ``RdmaChannelController.install_hash_seeds``); the filter lives in
+    switch SRAM and is updated by control-plane writes.  The read path
+    is two CRC32 invocations and one filter query — no directory state,
+    no retries.
+    """
+
+    __slots__ = ("pairs", "seed0", "seed1", "filter")
+
+    def __init__(
+        self, pairs: int, seed0: int, seed1: int, choice_filter: ChoiceFilter
+    ) -> None:
+        self.pairs = pairs
+        self.seed0 = seed0
+        self.seed1 = seed1
+        self.filter = choice_filter
+
+    # CRC32 is affine, so two digests of same-length messages that differ
+    # only in a seed prefix XOR to a key-independent constant — with a
+    # power-of-two modulus that collapses h1 to h0 ^ const, i.e. a
+    # single-hash table.  Hardware avoids this by wiring each hash to a
+    # different polynomial; we get the same independence by feeding h1
+    # the byte-reversed key (a different linear map of the key bits).
+
+    def h0(self, key: bytes) -> int:
+        return crc32(struct.pack("!I", self.seed0 & 0xFFFFFFFF) + key) % self.pairs
+
+    def h1(self, key: bytes) -> int:
+        return (
+            crc32(struct.pack("!I", self.seed1 & 0xFFFFFFFF) + key[::-1])
+            % self.pairs
+        )
+
+    def read_index(self, key: bytes) -> int:
+        """The ONE pair index to READ for *key* (the EMOMA choice)."""
+        if self.filter.query(key):
+            return self.h1(key)
+        return self.h0(key)
+
+    def reseed(self, seed0: int, seed1: int) -> None:
+        self.seed0 = seed0
+        self.seed1 = seed1
+
+
+class CuckooDirectory:
+    """Control-plane mirror of the remote cuckoo table.
+
+    Tracks which key sits in which slot, runs the seeded insert/kick
+    path, and maintains the choice-filter invariant:
+
+    * key in T1  ⇒  the filter was :meth:`~ChoiceFilter.add`-ed for it
+      (query positive, no false negatives);
+    * key in T0  ⇒  the filter currently queries negative for it.
+
+    A filter add (for some T1 placement) can flip unrelated T0 keys
+    positive; those are detected through a cell → T0-residents index and
+    relocated to T1 in the same insert call, bounded by
+    ``max_relocations``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[CuckooConfig] = None,
+        packer: Callable[[Any], bytes] = _default_packer,
+    ) -> None:
+        self.config = config if config is not None else CuckooConfig()
+        self.packer = packer
+        self.filter = ChoiceFilter(
+            self.config.filter_cells,
+            hashes=self.config.cbf_hashes,
+            seed=self.config.derived_seed("cuckoo-filter"),
+        )
+        self.dataplane = CuckooDataPlane(
+            self.config.pairs,
+            self.config.derived_seed("cuckoo-h0"),
+            self.config.derived_seed("cuckoo-h1"),
+            self.filter,
+        )
+        self._rng = random.Random(self.config.derived_seed("cuckoo-victim"))
+        #: key → its current slot.
+        self.location: Dict[Any, SlotRef] = {}
+        self._slot_key: Dict[SlotRef, Any] = {}
+        #: filter cell → T0-resident keys probing that cell (invariant index).
+        self._t0_cells: Dict[int, Set[Any]] = {}
+        #: Every eviction/relocation, in order — the deterministic kick
+        #: trace the property tests compare across same-seed runs.
+        self.kick_log: List[Tuple[str, Any, SlotRef]] = []
+        self.kicks = 0
+        self.relocations = 0
+        self.failed_inserts = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.location)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.location
+
+    def slot_key(self, ref: SlotRef) -> Optional[Any]:
+        return self._slot_key.get(ref)
+
+    @property
+    def load(self) -> float:
+        return len(self.location) / self.config.capacity
+
+    def candidate_pairs(self, key: Any) -> Tuple[int, int]:
+        kb = self.packer(key)
+        return self.dataplane.h0(kb), self.dataplane.h1(kb)
+
+    def check_invariant(self) -> List[Any]:
+        """Keys violating the EMOMA invariant (must be empty)."""
+        bad = []
+        for key, ref in self.location.items():
+            positive = self.filter.query(self.packer(key))
+            if ref.table == T0 and positive:
+                bad.append(key)
+            elif ref.table == T1 and not positive:
+                bad.append(key)
+        return bad
+
+    # -- journaled mutations (so a failed insert rolls back cleanly) ----------
+
+    def _register_t0(self, key: Any, kb: bytes) -> None:
+        for cell in self.filter.indices(kb):
+            self._t0_cells.setdefault(cell, set()).add(key)
+
+    def _unregister_t0(self, key: Any, kb: bytes) -> None:
+        for cell in self.filter.indices(kb):
+            residents = self._t0_cells.get(cell)
+            if residents is not None:
+                residents.discard(key)
+
+    def _set_slot(self, key: Any, ref: SlotRef, journal: List[tuple]) -> None:
+        journal.append(("set", key, ref, self.location.get(key)))
+        self._slot_key[ref] = key
+        self.location[key] = ref
+        if ref.table == T0:
+            self._register_t0(key, self.packer(key))
+
+    def _clear_slot(self, key: Any, ref: SlotRef, journal: List[tuple]) -> None:
+        journal.append(("clear", key, ref))
+        del self._slot_key[ref]
+        if ref.table == T0:
+            self._unregister_t0(key, self.packer(key))
+
+    def _filter_add(self, kb: bytes, journal: List[tuple]) -> List[int]:
+        journal.append(("fadd", kb))
+        return self.filter.add(kb)
+
+    def _filter_remove(self, kb: bytes, journal: List[tuple]) -> None:
+        journal.append(("fremove", kb))
+        self.filter.remove(kb)
+
+    def _rollback(self, journal: List[tuple]) -> None:
+        for op in reversed(journal):
+            kind = op[0]
+            if kind == "set":
+                _, key, ref, prev = op
+                if self._slot_key.get(ref) is key:
+                    del self._slot_key[ref]
+                if ref.table == T0:
+                    self._unregister_t0(key, self.packer(key))
+                if prev is None:
+                    self.location.pop(key, None)
+                else:
+                    self.location[key] = prev
+            elif kind == "clear":
+                _, key, ref = op
+                self._slot_key[ref] = key
+                if ref.table == T0:
+                    self._register_t0(key, self.packer(key))
+            elif kind == "fadd":
+                self.filter.remove(op[1])
+            elif kind == "fremove":
+                self.filter.add(op[1])
+
+    # -- the insert path -------------------------------------------------------
+
+    def insert(self, key: Any) -> List[Move]:
+        """Place *key*; returns the slot writes the table must mirror.
+
+        Deterministic: same seed + same insert order ⇒ identical final
+        layout, identical move lists, identical ``kick_log``.  Raises
+        :class:`CuckooFullError` (after rolling back) when the kick or
+        relocation budget is exhausted.
+        """
+        if key in self.location:
+            return []  # re-install: same slot, caller rewrites the entry
+        if len(self.location) >= self.config.capacity:
+            self.failed_inserts += 1
+            raise CuckooFullError(
+                f"cuckoo table full: {len(self.location)} keys in "
+                f"{self.config.capacity} slots"
+            )
+        journal: List[tuple] = []
+        log_mark = len(self.kick_log)
+        rng_state = self._rng.getstate()
+        counters = (self.kicks, self.relocations)
+        moves: List[Move] = []
+        #: Keys awaiting (re)placement, with the slot each vacated.
+        pending: deque = deque([(key, None)])
+        kicks_left = self.config.max_kicks
+        try:
+            while pending:
+                if len(moves) > self.config.max_relocations:
+                    raise CuckooFullError(
+                        f"insert of {key!r} exceeded max_relocations="
+                        f"{self.config.max_relocations} at load "
+                        f"{self.load:.2f}"
+                    )
+                k, src = pending.popleft()
+                kicks_left = self._place(k, src, moves, pending, journal,
+                                         kicks_left)
+        except CuckooFullError:
+            self._rollback(journal)
+            del self.kick_log[log_mark:]
+            self._rng.setstate(rng_state)
+            self.kicks, self.relocations = counters
+            self.failed_inserts += 1
+            raise
+        return moves
+
+    def _place(
+        self,
+        key: Any,
+        src: Optional[SlotRef],
+        moves: List[Move],
+        pending: deque,
+        journal: List[tuple],
+        kicks_left: int,
+    ) -> int:
+        kb = self.packer(key)
+        h0 = self.dataplane.h0(kb)
+        h1 = self.dataplane.h1(kb)
+        # 1. T0 home, but only while the filter still queries negative —
+        #    otherwise the data plane would READ pair h1 and miss it.
+        if not self.filter.query(kb):
+            slot = self._free_slot(T0, h0)
+            if slot is not None:
+                ref = SlotRef(T0, h0, slot)
+                self._set_slot(key, ref, journal)
+                moves.append(Move(key, src, ref))
+                return kicks_left
+        # 2. T1 home: always legal (the add keeps it query-positive), but
+        #    the add may flip T0 residents positive — relocate them now.
+        slot = self._free_slot(T1, h1)
+        if slot is not None:
+            ref = SlotRef(T1, h1, slot)
+            self._set_slot(key, ref, journal)
+            flipped = self._filter_add(kb, journal)
+            moves.append(Move(key, src, ref))
+            self._cascade(flipped, pending, journal)
+            return kicks_left
+        # 3. Both homes full: kick a seeded victim.
+        if kicks_left <= 0:
+            raise CuckooFullError(
+                f"kick chain for {key!r} exceeded max_kicks="
+                f"{self.config.max_kicks} at load {self.load:.2f}"
+            )
+        self.kicks += 1
+        if not self.filter.query(kb):
+            # The key may sit in T0, so kick there: a T0 placement needs
+            # no filter add (keeping filter pressure — and hence the
+            # relocation cascade — down), and the T0 victim restarts the
+            # walk with both of its own homes to try.
+            victim_slot = self._rng.randrange(self.config.slots_per_bucket)
+            ref = SlotRef(T0, h0, victim_slot)
+            victim = self._slot_key[ref]
+            self.kick_log.append(("kick", victim, ref))
+            self._clear_slot(victim, ref, journal)
+            self._set_slot(key, ref, journal)
+            moves.append(Move(key, src, ref))
+            pending.append((victim, ref))
+            return kicks_left - 1
+        # Filter-positive: the key is confined to its T1 bucket.  A victim
+        # whose own filter entries are all that keep it positive — and
+        # whose T0 home has room — escapes to T0 immediately, ending the
+        # chain; prefer those, else the walk cycles inside this bucket
+        # (every occupant confined the same way) until the budget trips.
+        escapable = [
+            slot
+            for slot in range(self.config.slots_per_bucket)
+            if self._can_escape_to_t0(self._slot_key[SlotRef(T1, h1, slot)])
+        ]
+        if escapable:
+            victim_slot = escapable[self._rng.randrange(len(escapable))]
+        else:
+            victim_slot = self._rng.randrange(self.config.slots_per_bucket)
+        ref = SlotRef(T1, h1, victim_slot)
+        victim = self._slot_key[ref]
+        self.kick_log.append(("kick", victim, ref))
+        self._clear_slot(victim, ref, journal)
+        self._filter_remove(self.packer(victim), journal)
+        self._set_slot(key, ref, journal)
+        flipped = self._filter_add(kb, journal)
+        moves.append(Move(key, src, ref))
+        self._cascade(flipped, pending, journal)
+        pending.append((victim, ref))
+        return kicks_left - 1
+
+    def _can_escape_to_t0(self, key: Any) -> bool:
+        """Would *key*, removed from T1, fit (and stay negative) in T0?"""
+        kb = self.packer(key)
+        cells: Dict[int, int] = {}
+        for cell in self.filter.indices(kb):
+            cells[cell] = cells.get(cell, 0) + 1
+        # Negative after removing its own increments?
+        if all(self.filter.cell_value(c) - n > 0 for c, n in cells.items()):
+            return False
+        return self._free_slot(T0, self.dataplane.h0(kb)) is not None
+
+    def _cascade(
+        self, flipped_cells: List[int], pending: deque, journal: List[tuple]
+    ) -> None:
+        """Queue T0 residents the filter add just flipped positive."""
+        if not flipped_cells:
+            return
+        suspects: Set[Any] = set()
+        for cell in flipped_cells:
+            suspects |= self._t0_cells.get(cell, set())
+        # Deterministic order: sort by packed key bytes, never set order.
+        for suspect in sorted(suspects, key=self.packer):
+            ref = self.location.get(suspect)
+            if ref is None or ref.table != T0:
+                continue
+            if not self.filter.query(self.packer(suspect)):
+                continue  # still negative; invariant holds
+            self.relocations += 1
+            self.kick_log.append(("relocate", suspect, ref))
+            self._clear_slot(suspect, ref, journal)
+            pending.append((suspect, ref))
+
+    def _free_slot(self, table: int, index: int) -> Optional[int]:
+        for slot in range(self.config.slots_per_bucket):
+            if SlotRef(table, index, slot) not in self._slot_key:
+                return slot
+        return None
+
+    def remove(self, key: Any) -> Optional[SlotRef]:
+        """Forget *key*; returns the slot the table must zero remotely."""
+        ref = self.location.pop(key, None)
+        if ref is None:
+            return None
+        del self._slot_key[ref]
+        kb = self.packer(key)
+        if ref.table == T0:
+            self._unregister_t0(key, kb)
+        else:
+            self.filter.remove(kb)
+        return ref
+
+    def __repr__(self) -> str:
+        return (
+            f"<CuckooDirectory {len(self.location)}/{self.config.capacity} "
+            f"keys, kicks={self.kicks}, relocations={self.relocations}>"
+        )

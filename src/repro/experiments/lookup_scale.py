@@ -1,0 +1,441 @@
+"""EMOMA-scale lookup study: million-flow Zipf traffic over the cuckoo table.
+
+Three questions, answered end to end on the simulated testbed:
+
+* **Does the cuckoo layout really resolve every miss in one READ?**
+  With ``layout="cuckoo"`` the data plane picks the single bucket pair
+  to fetch from the choice filter (repro.cuckoo); a correct run issues
+  exactly one RDMA READ per remote lookup — zero bounce-retries — which
+  :class:`OneReadCheck` asserts straight from the RoCE counters.
+
+* **How do the SRAM cache policies compare under a heavy-tailed
+  population?**  :func:`run_policy_point` drives an open-loop Zipf
+  trace (1 M+ flows) through each policy and cache size, reporting the
+  cache hit rate and the 99th-percentile bounce latency — the
+  policy-comparison curves behind ``BENCH_lookup.json``.
+
+* **Does miss throughput scale with the memory pool?**
+  :func:`run_lookup_scaleout` shards the cuckoo table over N servers
+  (cache disabled, so every packet is a genuine miss) and offers an
+  open-loop load at each pool's lossless ceiling, reporting sustained
+  misses/s — the §5 methodology applied to the EMOMA layout.
+
+Every run is seeded: same seed ⇒ same flow population, same arrival
+jitter, same cuckoo layout, same numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.reporting import format_table
+from ..apps.programs import RemoteLookupProgram
+from ..cluster import MemoryPool, ShardedLookupTable
+from ..core.lookup_table import (
+    ACTION_SET_DSCP,
+    LookupTableConfig,
+    RemoteAction,
+    RemoteLookupTable,
+)
+from ..switches.hashing import FiveTuple
+from ..switches.traffic_manager import TrafficManagerConfig
+from ..workloads.zipf import OpenLoopZipfTraffic
+from .scaleout import OFFERED_PER_SERVER_MLPS, RING_SEED, RING_VNODES
+from .topology import build_testbed
+
+#: Policies compared by the study, in presentation order.
+POLICIES = ("fifo", "lru", "lfu", "pin")
+
+#: Default cache sizes for the hit-rate curve (flows).
+CACHE_SIZES = (256, 1024, 4096)
+
+#: Zipf skew for the headline runs (≈ real DC flow popularity).
+DEFAULT_ALPHA = 1.0
+
+
+@dataclass
+class OneReadCheck:
+    """Wire-trace accounting for the cuckoo one-READ invariant."""
+
+    remote_lookups: int
+    reads_issued: int
+
+    @property
+    def bounce_retries(self) -> int:
+        """READs beyond the first per miss (must be zero for cuckoo)."""
+        return self.reads_issued - self.remote_lookups
+
+    @property
+    def holds(self) -> bool:
+        return self.remote_lookups > 0 and self.bounce_retries == 0
+
+
+@dataclass
+class PolicyPoint:
+    """One (policy, cache size) point of the hit-rate curve."""
+
+    policy: str
+    cache_entries: int
+    population: int
+    distinct_flows: int
+    packets: int
+    local_hits: int
+    remote_lookups: int
+    hit_rate: float
+    p99_bounce_ns: float
+    pins: int
+    one_read: OneReadCheck
+
+
+@dataclass
+class ScaleMissRow:
+    """One pool size of the sustained-miss-throughput sweep."""
+
+    servers: int
+    population: int
+    distinct_flows: int
+    offered_mlps: float
+    packets_sent: int
+    misses_completed: int
+    lookups_lost: int
+    duration_ms: float
+    p99_bounce_ns: float
+    one_read: OneReadCheck
+
+    @property
+    def mmisses_per_sec(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.misses_completed / (self.duration_ms * 1e3)
+
+
+@dataclass
+class LookupScaleStudy:
+    """Everything ``BENCH_lookup.json`` records for one (seed, population)."""
+
+    population: int
+    alpha: float
+    count: int
+    seed: int
+    policy_curve: List[PolicyPoint] = field(default_factory=list)
+    scaleout: List[ScaleMissRow] = field(default_factory=list)
+
+
+def _install_zipf_flows(table, tb, traffic) -> List[FiveTuple]:
+    """Install a DSCP action for every flow the schedule will offer."""
+    flows = []
+    src_ip = tb.hosts[0].eth.ip.value
+    dst_ip = tb.hosts[1].eth.ip.value
+    for rank in traffic.distinct_ranks():
+        key = traffic.flow_key(rank)
+        flow = FiveTuple(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            protocol=17,
+            src_port=key.src_port,
+            dst_port=key.dst_port,
+        )
+        table.install(flow, RemoteAction(ACTION_SET_DSCP, rank % 64))
+        flows.append(flow)
+    return flows
+
+
+def _reads_issued(tb, tables) -> int:
+    """Sum READs issued on each table's RoCE generator.
+
+    Resolved via each generator's own (uniquified) metric scope — a
+    shared registry across runs renames colliding ``roce[...]`` scopes,
+    so looking the counter up by channel name would read a stale run.
+    """
+    snapshot = tb.sim.obs.registry.snapshot()
+    return sum(
+        snapshot.get(f"{table.rocegen.metrics.name}.reads_issued", 0)
+        for table in tables
+    )
+
+
+def run_policy_point(
+    policy: str,
+    cache_entries: int,
+    population: int = 1_000_000,
+    count: int = 20_000,
+    alpha: float = DEFAULT_ALPHA,
+    seed: int = 3,
+    entries: int = 1 << 14,
+    rate_pps: float = 2e6,
+) -> PolicyPoint:
+    """Hit rate + p99 bounce latency for one policy at one cache size."""
+    tb = build_testbed(n_hosts=2)
+    program = RemoteLookupProgram()
+    for host, port in zip(tb.hosts, tb.host_ports):
+        program.install(host.eth.mac, port)
+    tb.switch.bind_program(program)
+
+    config = LookupTableConfig(
+        entries=entries,
+        cache_entries=cache_entries,
+        layout="cuckoo",
+        hash_seed=seed,
+        cache_policy=policy,
+        cache_seed=seed,
+    )
+    channel = tb.controller.open_channel(
+        tb.memory_server, tb.server_port, config.region_bytes
+    )
+    table = RemoteLookupTable(tb.switch, channel, config=config)
+    program.use_lookup_table(table)
+    tb.controller.install_hash_seeds(table, seed)
+
+    traffic = OpenLoopZipfTraffic(
+        tb.sim,
+        tb.hosts[0],
+        tb.hosts[1],
+        flows=population,
+        alpha=alpha,
+        rate_pps=rate_pps,
+        count=count,
+        seed=seed,
+    )
+    flows = _install_zipf_flows(table, tb, traffic)
+    traffic.start()
+    tb.sim.run()
+
+    stats = table.stats
+    if stats.remote_lookups == 0:
+        raise RuntimeError("lookup-scale: no remote lookups; setup broken")
+    latency = table.metrics.histogram("remote_latency_ns")
+    pins = tb.sim.obs.registry.snapshot().get(
+        f"{table.metrics.name}.cache.pins", 0
+    )
+    return PolicyPoint(
+        policy=policy,
+        cache_entries=cache_entries,
+        population=population,
+        distinct_flows=len(flows),
+        packets=traffic.packets_sent,
+        local_hits=stats.local_hits,
+        remote_lookups=stats.remote_lookups,
+        hit_rate=stats.hit_rate,
+        p99_bounce_ns=latency.percentile(0.99),
+        pins=pins,
+        one_read=OneReadCheck(
+            remote_lookups=stats.remote_lookups,
+            reads_issued=_reads_issued(tb, [table]),
+        ),
+    )
+
+
+def run_policy_curve(
+    policies: Sequence[str] = POLICIES,
+    cache_sizes: Sequence[int] = CACHE_SIZES,
+    population: int = 1_000_000,
+    count: int = 20_000,
+    alpha: float = DEFAULT_ALPHA,
+    seed: int = 3,
+    entries: int = 1 << 14,
+) -> List[PolicyPoint]:
+    """The full policy × cache-size grid (one fresh testbed per point)."""
+    return [
+        run_policy_point(
+            policy,
+            cache,
+            population=population,
+            count=count,
+            alpha=alpha,
+            seed=seed,
+            entries=entries,
+        )
+        for policy in policies
+        for cache in cache_sizes
+    ]
+
+
+def run_lookup_scaleout_point(
+    servers: int,
+    population: int = 1_000_000,
+    count: int = 20_000,
+    alpha: float = DEFAULT_ALPHA,
+    seed: int = 3,
+    entries: int = 1 << 14,
+    offered_per_server_mlps: float = OFFERED_PER_SERVER_MLPS,
+) -> ScaleMissRow:
+    """Sustained miss throughput with the cuckoo table sharded N ways.
+
+    Cache disabled: every packet is a remote miss, so completed misses
+    over the run's duration is the sustained miss rate.  The offered
+    rate scales with the pool (each configuration runs at its own
+    lossless ceiling), matching :mod:`repro.experiments.scaleout`.
+    """
+    tb = build_testbed(
+        n_hosts=2,
+        n_memory_servers=servers,
+        tm_config=TrafficManagerConfig(),
+    )
+    pool = MemoryPool(tb.controller, vnodes=RING_VNODES, seed=RING_SEED)
+    for server, port in zip(tb.memory_servers, tb.server_ports):
+        pool.add_server(server, port)
+
+    program = RemoteLookupProgram()
+    for host, port in zip(tb.hosts, tb.host_ports):
+        program.install(host.eth.mac, port)
+    tb.switch.bind_program(program)
+
+    config = LookupTableConfig(
+        entries=entries,
+        cache_entries=0,
+        layout="cuckoo",
+        hash_seed=seed,
+    )
+    table = ShardedLookupTable(tb.switch, pool, config=config)
+    program.use_lookup_table(table)
+    tb.controller.install_hash_seeds(table, seed)
+
+    traffic = OpenLoopZipfTraffic(
+        tb.sim,
+        tb.hosts[0],
+        tb.hosts[1],
+        flows=population,
+        alpha=alpha,
+        rate_pps=offered_per_server_mlps * 1e6 * servers,
+        count=count,
+        seed=seed,
+    )
+    flows = _install_zipf_flows(table, tb, traffic)
+    traffic.start()
+    tb.sim.run()
+
+    stats = table.stats
+    if stats.remote_lookups == 0:
+        raise RuntimeError("lookup-scale: no remote lookups; setup broken")
+    completed = (
+        stats.remote_hits + stats.fingerprint_mismatches + stats.remote_invalid
+    )
+    # Aggregate p99 across shards: merge the per-shard histograms by
+    # taking the worst shard's estimate (log2 buckets make a true merge
+    # equivalent for the tail we care about).
+    p99 = max(
+        shard.metrics.histogram("remote_latency_ns").percentile(0.99)
+        for shard in table.shards.values()
+    )
+    return ScaleMissRow(
+        servers=servers,
+        population=population,
+        distinct_flows=len(flows),
+        offered_mlps=offered_per_server_mlps * servers,
+        packets_sent=traffic.packets_sent,
+        misses_completed=completed,
+        lookups_lost=stats.lookups_lost,
+        duration_ms=tb.sim.now / 1e6,
+        p99_bounce_ns=p99,
+        one_read=OneReadCheck(
+            remote_lookups=stats.remote_lookups,
+            reads_issued=_reads_issued(tb, table.shards.values()),
+        ),
+    )
+
+
+def run_lookup_scale(
+    server_counts: Sequence[int] = (1, 2, 4),
+    policies: Sequence[str] = POLICIES,
+    cache_sizes: Sequence[int] = CACHE_SIZES,
+    population: int = 1_000_000,
+    count: int = 20_000,
+    alpha: float = DEFAULT_ALPHA,
+    seed: int = 3,
+    entries: int = 1 << 14,
+) -> LookupScaleStudy:
+    """The whole study: policy curves plus the miss-throughput sweep."""
+    study = LookupScaleStudy(
+        population=population, alpha=alpha, count=count, seed=seed
+    )
+    study.policy_curve = run_policy_curve(
+        policies=policies,
+        cache_sizes=cache_sizes,
+        population=population,
+        count=count,
+        alpha=alpha,
+        seed=seed,
+        entries=entries,
+    )
+    study.scaleout = [
+        run_lookup_scaleout_point(
+            n,
+            population=population,
+            count=count,
+            alpha=alpha,
+            seed=seed,
+            entries=entries,
+        )
+        for n in server_counts
+    ]
+    return study
+
+
+def format_policy_curve(points: Sequence[PolicyPoint]) -> str:
+    return format_table(
+        [
+            "policy",
+            "cache",
+            "flows seen",
+            "packets",
+            "hit rate",
+            "p99 bounce (us)",
+            "pins",
+            "one-READ",
+        ],
+        [
+            [
+                p.policy,
+                p.cache_entries,
+                p.distinct_flows,
+                p.packets,
+                f"{p.hit_rate:.3f}",
+                f"{p.p99_bounce_ns / 1e3:.2f}",
+                p.pins,
+                "yes" if p.one_read.holds else "NO",
+            ]
+            for p in points
+        ],
+        title=(
+            "SRAM cache policies under Zipf traffic "
+            f"(population {points[0].population:,}, cuckoo layout)"
+            if points
+            else "SRAM cache policies"
+        ),
+    )
+
+
+def format_lookup_scaleout(rows: Sequence[ScaleMissRow]) -> str:
+    base = rows[0].mmisses_per_sec if rows else 0.0
+    return format_table(
+        [
+            "servers",
+            "offered (M/s)",
+            "misses done",
+            "lost",
+            "time (ms)",
+            "misses/s (M)",
+            "speedup",
+            "p99 bounce (us)",
+            "one-READ",
+        ],
+        [
+            [
+                r.servers,
+                f"{r.offered_mlps:.2f}",
+                r.misses_completed,
+                r.lookups_lost,
+                f"{r.duration_ms:.2f}",
+                f"{r.mmisses_per_sec:.2f}",
+                f"{r.mmisses_per_sec / base:.2f}x" if base > 0 else "-",
+                f"{r.p99_bounce_ns / 1e3:.2f}",
+                "yes" if r.one_read.holds else "NO",
+            ]
+            for r in rows
+        ],
+        title=(
+            "Sustained remote-miss throughput vs pool size "
+            "(cuckoo layout, cache off, open-loop Zipf)"
+        ),
+    )

@@ -6,6 +6,7 @@ from .flows import FlowKey, ZipfFlowWorkload, ZipfSampler
 from .incast import INCAST_PORT, IncastReport, IncastWorkload
 from .netpipe import Echoer, PingPong
 from .perftest import PacketSink, RawEthernetBw, SenderReport
+from .zipf import OpenLoopZipfTraffic, ZipfGenerator
 
 __all__ = [
     "DctcpConfig",
@@ -17,12 +18,14 @@ __all__ = [
     "INCAST_PORT",
     "IncastReport",
     "IncastWorkload",
+    "OpenLoopZipfTraffic",
     "PacketSink",
     "PingPong",
     "RawEthernetBw",
     "SenderReport",
     "UDP_HEADER_BYTES",
     "ZipfFlowWorkload",
+    "ZipfGenerator",
     "ZipfSampler",
     "udp_between",
 ]

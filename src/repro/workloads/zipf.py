@@ -1,0 +1,233 @@
+"""Million-flow Zipf workloads: O(1) sampling + open-loop arrivals.
+
+The lookup-table scale runs need traffic over 1–10 M distinct flows with
+the heavy-tailed popularity real data centers show.  The original
+:class:`~repro.workloads.flows.ZipfSampler` builds an O(n) CDF — fine
+for thousands of flows, unusable at millions — so this module provides:
+
+* :class:`ZipfGenerator` — rejection-inversion sampling after Hörmann &
+  Derflinger ("Rejection-inversion to generate variates from monotone
+  discrete distributions", the algorithm behind Apache Commons'
+  ``ZipfRejectionInversionSampler``): **O(1) memory and ~O(1) time per
+  sample** at any population size, deterministic under a seeded
+  ``random.Random``.
+
+* :class:`OpenLoopZipfTraffic` — an open-loop arrival process over a
+  Zipf flow population: packets arrive on a schedule (seeded Poisson or
+  fixed pacing) that does **not** react to the system under test, the
+  arrival model §5-style saturation measurements need.  The rank
+  sequence is precomputed from its own derived stream, so experiments
+  can install table entries for exactly the flows that will appear
+  before the first packet is sent.
+
+Flows map to UDP port pairs exactly like
+:class:`~repro.workloads.flows.ZipfFlowWorkload` (rank → ``src_port``,
+``dst_port``), so 5-tuples stay distinct across the whole population.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..hosts.server import Host
+from ..net.packet import Packet
+from ..sim.rng import SeedSequence
+from ..sim.simulator import Simulator
+from ..sim.units import SEC
+from .factory import udp_between
+from .flows import FlowKey
+
+
+class ZipfGenerator:
+    """Sample ranks 0..n-1 with P(rank) ∝ 1/(rank+1)^alpha in O(1).
+
+    Rejection-inversion: invert the integral of the continuous envelope
+    ``h(x) = x^-alpha`` and reject the (rare) overshoots.  No tables, no
+    setup cost proportional to *n* — the properties that let a single
+    run sweep 10 M-flow populations.  ``alpha = 0`` degenerates to
+    uniform sampling.
+    """
+
+    def __init__(self, n: int, alpha: float, rng: random.Random) -> None:
+        if n <= 0:
+            raise ValueError(f"need at least one item, got {n}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.n = n
+        self.alpha = alpha
+        self._rng = rng
+        if alpha > 0:
+            self._h_x1 = self._h_integral(1.5) - 1.0
+            self._h_n = self._h_integral(n + 0.5)
+            self._s = 2.0 - self._h_integral_inverse(
+                self._h_integral(2.5) - self._h(2.0)
+            )
+
+    # H(x) = ∫ h, via the numerically stable helpers below.
+    def _h_integral(self, x: float) -> float:
+        log_x = math.log(x)
+        return _helper2((1.0 - self.alpha) * log_x) * log_x
+
+    def _h(self, x: float) -> float:
+        return math.exp(-self.alpha * math.log(x))
+
+    def _h_integral_inverse(self, x: float) -> float:
+        t = x * (1.0 - self.alpha)
+        if t < -1.0:
+            t = -1.0  # guard the log1p singularity at the distribution head
+        return math.exp(_helper1(t) * x)
+
+    def sample(self) -> int:
+        """One Zipf variate (0-based rank), consuming rng.random() draws."""
+        if self.alpha == 0.0:
+            return self._rng.randrange(self.n)
+        while True:
+            u = self._h_n + self._rng.random() * (self._h_x1 - self._h_n)
+            x = self._h_integral_inverse(u)
+            k = int(x + 0.5)
+            if k < 1:
+                k = 1
+            elif k > self.n:
+                k = self.n
+            if k - x <= self._s or u >= self._h_integral(k + 0.5) - self._h(k):
+                return k - 1
+
+
+def _helper1(x: float) -> float:
+    """log1p(x) / x, stable near zero."""
+    if abs(x) > 1e-8:
+        return math.log1p(x) / x
+    return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+
+
+def _helper2(x: float) -> float:
+    """expm1(x) / x, stable near zero."""
+    if abs(x) > 1e-8:
+        return math.expm1(x) / x
+    return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+
+
+class OpenLoopZipfTraffic:
+    """Open-loop packet arrivals over a seeded Zipf flow population.
+
+    Arrivals follow their own clock — seeded Poisson (``arrival=
+    "poisson"``, the default) or deterministic pacing (``"paced"``) at
+    ``rate_pps`` — regardless of how the switch or the remote table are
+    coping, which is what makes measured miss throughput an *offered
+    load* number rather than a closed-loop artifact.
+
+    Determinism: the rank sequence and the arrival jitter come from
+    independent streams derived from ``seed`` (via
+    :class:`~repro.sim.rng.SeedSequence`), so the *same flows in the
+    same order* appear whatever the arrival model, and experiments can
+    call :meth:`distinct_ranks` before starting to pre-install exactly
+    the flows the run will offer.
+    """
+
+    BASE_PORT = 1024
+    #: Port-space fan-out (ranks per dst port) — matches ZipfFlowWorkload.
+    PORT_SPAN = 60_000
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Host,
+        dst: Host,
+        flows: int,
+        alpha: float = 1.0,
+        packet_size: int = 128,
+        rate_pps: float = 1e6,
+        count: int = 10_000,
+        seed: int = 0,
+        arrival: str = "poisson",
+    ) -> None:
+        if flows > self.PORT_SPAN * self.PORT_SPAN:
+            raise ValueError(f"flow population too large: {flows}")
+        if arrival not in ("poisson", "paced"):
+            raise ValueError(f"unknown arrival process: {arrival!r}")
+        if rate_pps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_pps}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.flows = flows
+        self.alpha = alpha
+        self.packet_size = packet_size
+        self.rate_pps = rate_pps
+        self.count = count
+        self.arrival = arrival
+        seeds = SeedSequence(seed)
+        self._arrival_rng = seeds.stream("zipf.arrivals")
+        self._mean_gap_ns = SEC / rate_pps
+        # The rank schedule is fixed up front: sampling is O(1) per
+        # packet, so even million-packet schedules build in well under a
+        # second, and the population becomes inspectable pre-run.
+        generator = ZipfGenerator(flows, alpha, seeds.stream("zipf.ranks"))
+        self.schedule: List[int] = [generator.sample() for _ in range(count)]
+        self.sent_by_rank: Dict[int, int] = {}
+        self.packets_sent = 0
+        self._cursor = 0
+        self.on_done: Optional[Callable[[], None]] = None
+        self._template = udp_between(src, dst, packet_size)
+
+    # -- population introspection (pre-run) ------------------------------------
+
+    def distinct_ranks(self) -> List[int]:
+        """Sorted ranks that will actually appear, for pre-installation."""
+        return sorted(set(self.schedule))
+
+    def flow_key(self, rank: int) -> FlowKey:
+        """Deterministic flow → port-pair mapping (shared with flows.py)."""
+        return FlowKey(
+            rank=rank,
+            src_port=self.BASE_PORT + rank % self.PORT_SPAN,
+            dst_port=self.BASE_PORT + rank // self.PORT_SPAN,
+        )
+
+    def packet_for(self, rank: int) -> Packet:
+        key = self.flow_key(rank)
+        packet = udp_between(
+            self.src,
+            self.dst,
+            self.packet_size,
+            src_port=key.src_port,
+            dst_port=key.dst_port,
+        )
+        packet.meta["flow_rank"] = rank
+        packet.meta["sent_at"] = self.sim.now
+        return packet
+
+    # -- the arrival process ----------------------------------------------------
+
+    def _gap_ns(self) -> float:
+        if self.arrival == "poisson":
+            return self._arrival_rng.expovariate(1.0) * self._mean_gap_ns
+        return self._mean_gap_ns
+
+    def start(self, at_ns: float = 0.0) -> None:
+        self.sim.schedule_at(max(at_ns, self.sim.now), self._tick)
+
+    def _tick(self) -> None:
+        if self._cursor >= self.count:
+            if self.on_done is not None:
+                self.on_done()
+            return
+        rank = self.schedule[self._cursor]
+        self._cursor += 1
+        self.src.send(self.packet_for(rank))
+        self.sent_by_rank[rank] = self.sent_by_rank.get(rank, 0) + 1
+        self.packets_sent += 1
+        self.sim.schedule(self._gap_ns(), self._tick)
+
+    def distinct_flows_sent(self) -> int:
+        return len(self.sent_by_rank)
+
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        """Ground-truth flows with at least *threshold* packets."""
+        return {
+            rank: count
+            for rank, count in self.sent_by_rank.items()
+            if count >= threshold
+        }

@@ -11,6 +11,7 @@ from repro.core.lookup_table import (
     RemoteLookupTable,
     fingerprint_of,
 )
+from repro.core.channel import ChannelError
 from repro.experiments.topology import build_testbed
 from repro.net.headers import UdpHeader
 from repro.sim.units import mib
@@ -228,6 +229,176 @@ class TestRemoteLookup:
                 channel,
                 config=LookupTableConfig(entries=16, mode="telepathy"),
             )
+
+
+class TestCuckooLayout:
+    def build_cuckoo(self, seed=3, cache_entries=64, cache_policy="fifo"):
+        config = LookupTableConfig(
+            entries=1 << 10,
+            cache_entries=cache_entries,
+            layout="cuckoo",
+            hash_seed=seed,
+            cache_policy=cache_policy,
+            cache_seed=seed,
+        )
+        tb, program, table, channel = build(config=config)
+        tb.controller.install_hash_seeds(table, seed)
+        return tb, program, table, channel
+
+    def _flow(self, tb, sport):
+        return FiveTuple(
+            src_ip=tb.hosts[0].eth.ip.value,
+            dst_ip=tb.hosts[1].eth.ip.value,
+            protocol=17,
+            src_port=sport,
+            dst_port=6000,
+        )
+
+    def test_miss_resolves_in_exactly_one_read(self):
+        tb, program, table, channel = self.build_cuckoo(cache_entries=0)
+        for sport in range(5000, 5050):
+            table.install(
+                self._flow(tb, sport), RemoteAction(ACTION_SET_DSCP, sport % 64)
+            )
+        received = []
+        tb.hosts[1].packet_handlers.append(lambda p, i: received.append(p))
+        for sport in range(5000, 5050):
+            tb.hosts[0].send(
+                udp_between(
+                    tb.hosts[0], tb.hosts[1], 256,
+                    src_port=sport, dst_port=6000,
+                )
+            )
+        tb.sim.run()
+        assert len(received) == 50
+        assert all(p.ipv4.dscp == (p.udp.src_port % 64) for p in received)
+        assert table.stats.remote_lookups == 50
+        assert table.stats.remote_hits == 50
+        # The one-READ property at the wire: one bucket-pair READ per
+        # miss, never a bounce-retry second READ.
+        assert channel.region.reads == table.stats.remote_lookups
+
+    def test_kicked_flows_stay_readable(self):
+        """Install enough flows to force kicks; every flow must still
+        resolve via the data plane's single bucket choice."""
+        tb, program, table, channel = self.build_cuckoo(cache_entries=0)
+        flows = [self._flow(tb, 1024 + i) for i in range(700)]
+        for flow in flows:
+            table.install(flow, RemoteAction(ACTION_SET_DSCP, 5))
+        for flow in flows:
+            ref = table.directory.location[flow]
+            assert table.dataplane.read_index(flow.pack()) == ref.index
+
+    def test_install_hash_seeds_requires_cuckoo_layout(self):
+        tb, program, table, channel = build()  # direct layout
+        with pytest.raises(ChannelError):
+            tb.controller.install_hash_seeds(table, 7)
+
+    def test_install_hash_seeds_on_populated_table_raises(self):
+        tb, program, table, channel = self.build_cuckoo()
+        table.install(self._flow(tb, 5000), RemoteAction(ACTION_SET_DSCP, 1))
+        with pytest.raises(ChannelError):
+            tb.controller.install_hash_seeds(table, 99)
+
+    def test_cuckoo_region_needs_bucket_pairs(self):
+        """The channel must fit the cuckoo geometry, not just
+        entries * entry_bytes."""
+        config = LookupTableConfig(entries=1 << 10, layout="cuckoo")
+        tb = build_testbed()
+        channel = tb.controller.open_channel(
+            tb.memory_server, tb.server_port, config.region_bytes - 1
+        )
+        with pytest.raises(ValueError):
+            RemoteLookupTable(tb.switch, channel, config=config)
+
+    def test_unknown_layout_rejected(self):
+        tb = build_testbed()
+        channel = tb.controller.open_channel(
+            tb.memory_server, tb.server_port, mib(8)
+        )
+        with pytest.raises(ValueError):
+            RemoteLookupTable(
+                tb.switch,
+                channel,
+                config=LookupTableConfig(entries=16, layout="hopscotch"),
+            )
+
+
+class TestCachePolicyIntegration:
+    def _send(self, tb, sport):
+        tb.hosts[0].send(
+            udp_between(
+                tb.hosts[0], tb.hosts[1], 256, src_port=sport, dst_port=6000
+            )
+        )
+        tb.sim.run()
+
+    def _install(self, tb, table, sport):
+        flow = FiveTuple(
+            src_ip=tb.hosts[0].eth.ip.value,
+            dst_ip=tb.hosts[1].eth.ip.value,
+            protocol=17,
+            src_port=sport,
+            dst_port=6000,
+        )
+        table.install(flow, RemoteAction(ACTION_SET_DSCP, sport % 64))
+
+    def test_unknown_cache_policy_rejected(self):
+        config = LookupTableConfig(entries=1 << 10, cache_policy="arc")
+        tb = build_testbed()
+        channel = tb.controller.open_channel(
+            tb.memory_server, tb.server_port, config.region_bytes
+        )
+        with pytest.raises(ValueError):
+            RemoteLookupTable(tb.switch, channel, config=config)
+
+    def test_lru_keeps_recently_touched_flow(self):
+        config = LookupTableConfig(
+            entries=1 << 10, cache_entries=2, cache_policy="lru"
+        )
+        tb, program, table, channel = build(config=config)
+        for sport in (100, 200):
+            self._install(tb, table, sport)
+            self._send(tb, sport)
+        self._send(tb, 100)  # touch 100: now most recent
+        assert table.stats.local_hits == 1
+        self._install(tb, table, 300)
+        self._send(tb, 300)  # evicts 200 (LRU), not 100
+        self._send(tb, 100)
+        assert table.stats.local_hits == 2
+        self._send(tb, 200)
+        assert table.stats.remote_lookups == 4  # 100, 200, 300, 200-again
+
+    def test_fifo_policy_matches_legacy_eviction(self):
+        """The default policy reproduces the original FIFO behavior."""
+        config = LookupTableConfig(
+            entries=1 << 10, cache_entries=2, cache_policy="fifo"
+        )
+        tb, program, table, channel = build(config=config)
+        for sport in (100, 200):
+            self._install(tb, table, sport)
+            self._send(tb, sport)
+        self._send(tb, 100)  # recency must NOT protect 100 under FIFO
+        self._install(tb, table, 300)
+        self._send(tb, 300)
+        self._send(tb, 100)  # evicted despite the touch: goes remote
+        assert table.stats.remote_lookups == 4
+        # Two evictions: 300 pushed 100 out, then 100's re-fetch pushed
+        # out the next-oldest resident.
+        assert table.stats.cache_evictions == 2
+
+    def test_hit_rate_snapshot_matches_counters(self):
+        config = LookupTableConfig(entries=1 << 10, cache_entries=4)
+        tb, program, table, channel = build(config=config)
+        self._install(tb, table, 100)
+        self._send(tb, 100)
+        self._send(tb, 100)
+        self._send(tb, 100)
+        stats = table.stats
+        assert stats.hit_rate == pytest.approx(
+            stats.local_hits / (stats.local_hits + stats.remote_lookups)
+        )
+        assert stats.hit_rate == pytest.approx(2 / 3)
 
 
 class TestRecirculateMode:

@@ -21,7 +21,7 @@ from repro.obs import (
     WireTrace,
 )
 from repro.rdma.constants import ATOMIC_OPERAND_BYTES
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import Simulator, kernel_mode
 from repro.testbed import build_testbed
 from repro.workloads.perftest import RawEthernetBw
 
@@ -222,8 +222,13 @@ def test_end_to_end_trace_records_qp_timeline(tmp_path):
 # -- metrics parity with legacy stats ---------------------------------------
 
 
-def _run_fixed_seed_lookup():
+def _run_fixed_seed_lookup(mode="scalar"):
     """A small fixed-seed fig3a-style run; returns (table, registry)."""
+    with kernel_mode(mode):
+        return _run_fixed_seed_lookup_inner()
+
+
+def _run_fixed_seed_lookup_inner():
     from repro.core.lookup_table import (
         ACTION_SET_DSCP,
         LookupTableConfig,
@@ -262,16 +267,21 @@ def _run_fixed_seed_lookup():
     return table, tb.sim.obs.registry
 
 
-def test_registry_matches_legacy_stats_on_fixed_seed_run():
-    table, registry = _run_fixed_seed_lookup()
+@pytest.mark.parametrize("mode", ["scalar", "batch"])
+def test_registry_matches_legacy_stats_on_fixed_seed_run(mode):
+    table, registry = _run_fixed_seed_lookup(mode)
     stats = dataclasses.asdict(table.stats)
     assert stats["remote_lookups"] > 0
     scope = table.metrics.name
     for field, value in stats.items():
         assert registry.value(f"{scope}.{field}") == value, field
+    # hit_rate is a derived property mirrored by a function gauge, not a
+    # summable field — assert it separately.
+    assert registry.value(f"{scope}.hit_rate") == table.stats.hit_rate
 
 
-def test_registry_is_deterministic_across_runs():
+@pytest.mark.parametrize("mode", ["scalar", "batch"])
+def test_registry_is_deterministic_across_runs(mode):
     # QP numbers come from a process-global allocator, so mask the per-QP
     # gauge names; everything else must be byte-identical run to run.
     import re
@@ -284,8 +294,8 @@ def test_registry_is_deterministic_across_runs():
         }
         return json.dumps(doc, sort_keys=True)
 
-    _, reg_a = _run_fixed_seed_lookup()
-    _, reg_b = _run_fixed_seed_lookup()
+    _, reg_a = _run_fixed_seed_lookup(mode)
+    _, reg_b = _run_fixed_seed_lookup(mode)
     assert normalized(reg_a) == normalized(reg_b)
 
 

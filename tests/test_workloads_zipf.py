@@ -1,0 +1,170 @@
+"""Tests for the million-flow Zipf workload subsystem (repro.workloads.zipf).
+
+ZipfGenerator is the O(1) rejection-inversion sampler; it must be
+deterministic under a seeded rng, validate its parameters, degenerate to
+uniform at alpha=0, and actually produce a heavy-tailed distribution.
+OpenLoopZipfTraffic must offer the *same flows in the same order*
+whatever the arrival model, and deliver packets end to end on the sim.
+"""
+
+import random
+
+import pytest
+
+from repro.apps.programs import StaticL2Program
+from repro.testbed import build_testbed
+from repro.workloads.zipf import OpenLoopZipfTraffic, ZipfGenerator
+
+
+def _forwarding_testbed():
+    tb = build_testbed(n_hosts=2)
+    program = StaticL2Program()
+    for host, port in zip(tb.hosts, tb.host_ports):
+        program.install(host.eth.mac, port)
+    tb.switch.bind_program(program)
+    return tb
+
+
+class TestZipfGenerator:
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0, 1.0, random.Random(1))
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, -0.5, random.Random(1))
+
+    def test_seed_determinism(self):
+        a = ZipfGenerator(1_000_000, 1.0, random.Random(42))
+        b = ZipfGenerator(1_000_000, 1.0, random.Random(42))
+        assert [a.sample() for _ in range(2000)] == [
+            b.sample() for _ in range(2000)
+        ]
+
+    def test_samples_stay_in_range(self):
+        gen = ZipfGenerator(100, 1.2, random.Random(7))
+        samples = [gen.sample() for _ in range(5000)]
+        assert min(samples) >= 0
+        assert max(samples) < 100
+
+    def test_alpha_zero_is_uniform(self):
+        gen = ZipfGenerator(10, 0.0, random.Random(3))
+        counts = [0] * 10
+        for _ in range(10_000):
+            counts[gen.sample()] += 1
+        # Uniform: every rank near 1000; nothing Zipf-skewed.
+        assert max(counts) < 2 * min(counts)
+
+    def test_distribution_is_heavy_tailed(self):
+        """At alpha=1 the rank-0 share must dwarf the deep tail and the
+        empirical head frequencies must be close to 1/(r+1)/H_n."""
+        n = 100_000
+        gen = ZipfGenerator(n, 1.0, random.Random(11))
+        counts = {}
+        draws = 50_000
+        for _ in range(draws):
+            r = gen.sample()
+            counts[r] = counts.get(r, 0) + 1
+        h_n = sum(1.0 / (r + 1) for r in range(n))
+        for rank in range(3):
+            expected = draws / ((rank + 1) * h_n)
+            assert counts.get(rank, 0) == pytest.approx(expected, rel=0.25)
+        # Rank 0 alone beats the combined mass of ranks >= 1000.
+        deep_tail = sum(c for r, c in counts.items() if r >= 1000)
+        assert counts[0] > deep_tail / 5
+
+    def test_ten_million_flow_population_is_cheap(self):
+        """O(1) setup and sampling: a 10M-rank generator works instantly
+        (the table-based sampler would need a 10M-entry CDF)."""
+        gen = ZipfGenerator(10_000_000, 1.0, random.Random(5))
+        samples = [gen.sample() for _ in range(1000)]
+        assert all(0 <= s < 10_000_000 for s in samples)
+        assert len(set(samples)) > 100  # not degenerate
+
+
+class TestOpenLoopZipfTraffic:
+    def _traffic(self, tb, **kw):
+        defaults = dict(
+            flows=10_000, alpha=1.0, rate_pps=1e6, count=500, seed=9
+        )
+        defaults.update(kw)
+        return OpenLoopZipfTraffic(
+            tb.sim, tb.hosts[0], tb.hosts[1], **defaults
+        )
+
+    def test_validates_parameters(self):
+        tb = build_testbed(n_hosts=2)
+        with pytest.raises(ValueError):
+            self._traffic(tb, arrival="bursty")
+        with pytest.raises(ValueError):
+            self._traffic(tb, rate_pps=0)
+        with pytest.raises(ValueError):
+            self._traffic(tb, flows=60_000 * 60_000 + 1)
+
+    def test_schedule_deterministic_across_arrival_models(self):
+        """The rank stream is independent of the arrival-jitter stream:
+        poisson and paced runs offer the same flows in the same order."""
+        tb = build_testbed(n_hosts=2)
+        poisson = self._traffic(tb, arrival="poisson")
+        paced = self._traffic(tb, arrival="paced")
+        assert poisson.schedule == paced.schedule
+        assert poisson.distinct_ranks() == paced.distinct_ranks()
+
+    def test_schedule_deterministic_under_seed(self):
+        tb = build_testbed(n_hosts=2)
+        assert (
+            self._traffic(tb, seed=4).schedule
+            == self._traffic(tb, seed=4).schedule
+        )
+        assert (
+            self._traffic(tb, seed=4).schedule
+            != self._traffic(tb, seed=5).schedule
+        )
+
+    def test_flow_key_mapping_is_injective(self):
+        tb = build_testbed(n_hosts=2)
+        traffic = self._traffic(tb)
+        span = OpenLoopZipfTraffic.PORT_SPAN
+        keys = {
+            (k.src_port, k.dst_port)
+            for k in (
+                traffic.flow_key(r)
+                for r in (0, 1, span - 1, span, span + 1, 2 * span)
+            )
+        }
+        assert len(keys) == 6
+        assert traffic.flow_key(0).src_port == OpenLoopZipfTraffic.BASE_PORT
+
+    def test_open_loop_delivery_on_sim(self):
+        """All scheduled packets are sent and per-rank accounting matches
+        the precomputed schedule exactly."""
+        tb = _forwarding_testbed()
+        traffic = self._traffic(tb, count=300)
+        done = []
+        traffic.on_done = lambda: done.append(tb.sim.now)
+        traffic.start()
+        tb.sim.run()
+        assert traffic.packets_sent == 300
+        assert done, "on_done never fired"
+        assert sum(traffic.sent_by_rank.values()) == 300
+        assert traffic.distinct_flows_sent() == len(set(traffic.schedule))
+        heavy = traffic.heavy_hitters(3)
+        assert all(traffic.sent_by_rank[r] >= 3 for r in heavy)
+
+    def test_paced_arrivals_are_evenly_spaced(self):
+        tb = _forwarding_testbed()
+        traffic = self._traffic(tb, arrival="paced", count=50, rate_pps=1e6)
+        stamps = []
+        original = traffic.packet_for
+
+        def recording(rank):
+            stamps.append(tb.sim.now)
+            return original(rank)
+
+        traffic.packet_for = recording
+        traffic.start()
+        tb.sim.run()
+        gaps = {
+            round(b - a, 3) for a, b in zip(stamps, stamps[1:])
+        }
+        assert gaps == {1000.0}  # 1 Mpps -> 1000 ns between packets
