@@ -26,7 +26,7 @@ Run:  python examples/self_healing.py
 
 from repro.api import (
     Blackout,
-    CircuitBreakerConfig,
+    BreakerPolicy,
     CountingProgram,
     FaultPlan,
     FiveTuple,
@@ -72,13 +72,13 @@ def main() -> None:
         tb.controller,
         channel,
         store,
-        config=CircuitBreakerConfig(
+        policy=BreakerPolicy(
+            rng=SeedSequence(SEED).stream("breaker[store]"),
             fail_threshold=3,
             open_timeout_ns=usec(100),
             probe_timeout_ns=usec(60),
             probe_jitter_ns=usec(10),
         ),
-        rng=SeedSequence(SEED).stream("breaker[store]"),
     )
 
     # The outage: a total blackout far longer than the retry window.

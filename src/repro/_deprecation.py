@@ -14,6 +14,18 @@ from typing import Set
 _warned: Set[str] = set()
 
 
+class _Unset:
+    """Sentinel distinguishing 'kwarg not passed' from an explicit None."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<UNSET>"
+
+
+#: Default for deprecated keyword arguments, so shims can tell whether
+#: the caller actually used the old spelling.
+UNSET = _Unset()
+
+
 def warn_once(message: str) -> None:
     """Issue ``DeprecationWarning(message)`` once per process.
 

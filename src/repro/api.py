@@ -98,16 +98,34 @@ from .cuckoo import (
     SlotRef,
 )
 
-# -- SRAM cache policies (DESIGN.md §12) -------------------------------------
-from .core.cache_policy import (
+# -- unified policy surface (DESIGN.md §12/§13) -------------------------------
+from .policies import (
     CACHE_POLICIES,
+    PLACEMENT_POLICIES,
+    POLICY_KINDS,
+    AccessFrequencyPlacement,
+    BlockStat,
+    BreakerPolicy,
     CachePolicy,
     FifoCachePolicy,
     LfuCachePolicy,
     LruCachePolicy,
     PinningCachePolicy,
+    PlacementPolicy,
+    PlacementView,
+    Policy,
+    StaticPinPlacement,
+    TierMove,
+    WatermarkPlacement,
     make_cache_policy,
+    make_placement_policy,
+    make_policy,
 )
+
+# -- tiered remote memory (DESIGN.md §13) -------------------------------------
+from .rdma.memory import TIER_DRAM, TIER_FAST, TIERS
+from .rdma.rnic import TierProfile
+from .tiering import TieredMemoryPool, TieredRegionGeometry
 
 # -- million-flow workloads (DESIGN.md §12) ----------------------------------
 from .workloads.zipf import OpenLoopZipfTraffic, ZipfGenerator
@@ -232,7 +250,10 @@ __all__ = [
     "CuckooFullError",
     "Move",
     "SlotRef",
-    # SRAM cache policies
+    # unified policy surface
+    "POLICY_KINDS",
+    "Policy",
+    "make_policy",
     "CACHE_POLICIES",
     "CachePolicy",
     "FifoCachePolicy",
@@ -240,6 +261,23 @@ __all__ = [
     "LruCachePolicy",
     "PinningCachePolicy",
     "make_cache_policy",
+    "PLACEMENT_POLICIES",
+    "PlacementPolicy",
+    "StaticPinPlacement",
+    "AccessFrequencyPlacement",
+    "WatermarkPlacement",
+    "make_placement_policy",
+    "BlockStat",
+    "PlacementView",
+    "TierMove",
+    "BreakerPolicy",
+    # tiered remote memory
+    "TIER_DRAM",
+    "TIER_FAST",
+    "TIERS",
+    "TierProfile",
+    "TieredMemoryPool",
+    "TieredRegionGeometry",
     # million-flow workloads
     "OpenLoopZipfTraffic",
     "ZipfGenerator",

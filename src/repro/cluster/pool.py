@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional
 from ..core.channel import RdmaChannelController, RemoteMemoryChannel
 from ..core.rocegen import RoceRequestGenerator
 from ..hosts.server import MemoryServer
-from ..rdma.memory import AccessFlags
+from ..rdma.memory import TIER_DRAM, TIERS, AccessFlags
 from .health import HealthMonitor
 from .ring import ConsistentHashRing, Key
 
@@ -41,6 +41,11 @@ class PoolMember:
     #: Listeners still draining in-flight work during a graceful leave;
     #: channels close when the count returns to zero.
     drain_holds: int = 0
+    #: The memory tier this member serves (DESIGN.md §13).  ``dram``
+    #: members join the consistent-hash ring and host shard homes;
+    #: ``fast`` members are cache-tier capacity only — channels to them
+    #: are opened explicitly by the tiered pool, never by ring placement.
+    tier: str = TIER_DRAM
 
 
 class PoolListener:
@@ -96,19 +101,36 @@ class MemoryPool:
             raise KeyError(f"no pool member named {name!r}") from None
 
     def add_server(
-        self, server: MemoryServer, port: int, name: Optional[str] = None
+        self,
+        server: MemoryServer,
+        port: int,
+        name: Optional[str] = None,
+        tier: str = TIER_DRAM,
     ) -> PoolMember:
-        """Enroll *server* (attached at switch *port*); fires join events."""
+        """Enroll *server* (attached at switch *port*); fires join events.
+
+        ``tier="fast"`` enrolls cache-tier capacity: the member is health
+        tracked and receives explicitly-placed channels but never joins
+        the consistent-hash ring, so ring placement (shard homes, replica
+        sets) stays on the DRAM tier.
+        """
         name = name or server.name
         if name in self.members:
             raise ValueError(f"pool already has a member named {name!r}")
-        member = PoolMember(name=name, server=server, port=port)
+        if tier not in TIERS:
+            raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
+        member = PoolMember(name=name, server=server, port=port, tier=tier)
         self.members[name] = member
         self.health.track(name)
-        self.ring.add(name)
+        if tier == TIER_DRAM:
+            self.ring.add(name)
         for listener in list(self.listeners):
             listener.on_member_join(member)
         return member
+
+    def members_in_tier(self, tier: str) -> List[PoolMember]:
+        """Alive members serving *tier*, in enrollment order."""
+        return [m for m in self.alive_members if m.tier == tier]
 
     def remove_server(self, name: str) -> PoolMember:
         """Gracefully drain *name* out of the pool.
@@ -167,8 +189,14 @@ class MemoryPool:
         name: Optional[str] = None,
         access: AccessFlags = AccessFlags.ALL_REMOTE,
         share_region_with: Optional[RemoteMemoryChannel] = None,
+        tier: Optional[str] = None,
     ) -> RemoteMemoryChannel:
-        """Open a channel to *member* through the controller and track it."""
+        """Open a channel to *member* through the controller and track it.
+
+        The channel inherits the member's tier unless ``tier`` overrides
+        it — the single-server dual-tier topology (RDCA's LLC model)
+        opens a ``fast`` channel onto a ``dram`` member's server.
+        """
         channel = self.controller.open_channel(
             member.server,
             member.port,
@@ -176,6 +204,10 @@ class MemoryPool:
             name=name or f"pool:{member.name}",
             access=access,
             share_region_with=share_region_with,
+            # Shared regions inherit the original channel's tier.
+            tier=tier
+            if tier is not None or share_region_with is not None
+            else member.tier,
         )
         member.channels.append(channel)
         return channel

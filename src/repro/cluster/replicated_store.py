@@ -27,7 +27,7 @@ restoring K-way redundancy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from .._deprecation import warn_once
 from ..core.state_store import (
@@ -75,11 +75,19 @@ class ReplicatedStateStore:
         pool: MemoryPool,
         config: Optional[StateStoreConfig] = None,
         replication: int = 2,
+        store_factory: Optional[
+            Callable[[PoolMember], RemoteStateStore]
+        ] = None,
     ) -> None:
         if replication < 1:
             raise ValueError("replication must be >= 1")
         self.switch = switch
         self.pool = pool
+        #: Builds one replica store per member.  The default opens a plain
+        #: DRAM channel; pass a factory to back replicas differently —
+        #: e.g. a tiered store whose hot blocks ride the fast tier
+        #: (``pool.tier_object`` + ``RemoteStateStore(tiering=...)``).
+        self.store_factory = store_factory
         if config is None:
             # Replication without per-replica exactly-once would let a
             # *lossy link* (not just a dead server) desynchronize copies.
@@ -105,12 +113,15 @@ class ReplicatedStateStore:
         return self.config.counters * ATOMIC_OPERAND_BYTES
 
     def _open_store(self, member: PoolMember) -> RemoteStateStore:
-        channel = self.pool.open_channel(
-            member,
-            self.region_bytes_per_member,
-            name=f"counters:{member.name}",
-        )
-        store = RemoteStateStore(self.switch, channel, config=self.config)
+        if self.store_factory is not None:
+            store = self.store_factory(member)
+        else:
+            channel = self.pool.open_channel(
+                member,
+                self.region_bytes_per_member,
+                name=f"counters:{member.name}",
+            )
+            store = RemoteStateStore(self.switch, channel, config=self.config)
         self.pool.watch(member, store.rocegen)
         self.stores[member.name] = store
         return store

@@ -22,7 +22,7 @@ from typing import Callable, List, Optional
 
 from ..hosts.server import MemoryServer
 from ..obs.trace import KIND_RECONNECT
-from ..rdma.memory import AccessFlags, MemoryRegion
+from ..rdma.memory import TIER_DRAM, TIERS, AccessFlags, MemoryRegion
 from ..rdma.qp import QueuePair
 from ..rdma.verbs import connect_qps
 from ..switches.switch import ProgrammableSwitch
@@ -60,6 +60,11 @@ class RemoteMemoryChannel:
     teardown_callbacks: List[Callable[[], None]] = field(
         default_factory=list, repr=False
     )
+    #: Memory tier this channel's region models ("dram" or "fast").  The
+    #: channel owns the authoritative tag: close→reopen and QP reconnect
+    #: re-assert it on whatever region backs the channel, so the RNIC's
+    #: per-tier service profile survives a fresh rkey (DESIGN.md §13).
+    tier: str = TIER_DRAM
 
     @property
     def end_address(self) -> int:
@@ -97,6 +102,7 @@ class RdmaChannelController:
         name: Optional[str] = None,
         access: AccessFlags = AccessFlags.ALL_REMOTE,
         share_region_with: Optional[RemoteMemoryChannel] = None,
+        tier: Optional[str] = None,
     ) -> RemoteMemoryChannel:
         """Establish an RDMA channel to *size_bytes* of *server*'s DRAM.
 
@@ -127,15 +133,27 @@ class RdmaChannelController:
             )
 
         # 1. Allocate and register the memory region on the server (or
-        #    adopt the shared one).
+        #    adopt the shared one).  ``tier`` defaults to the shared
+        #    channel's tier, else DRAM.
         if share_region_with is not None:
             if share_region_with.server is not server:
                 raise ChannelError(
                     "cannot share a region across different servers"
                 )
+            if tier is not None and tier != share_region_with.tier:
+                raise ChannelError(
+                    f"cannot open a {tier!r} channel onto a "
+                    f"{share_region_with.tier!r} region"
+                )
+            tier = share_region_with.tier
             region = share_region_with.region
         else:
-            region = server.lend_memory(size_bytes, access=access)
+            tier = TIER_DRAM if tier is None else tier
+            if tier not in TIERS:
+                raise ChannelError(
+                    f"unknown memory tier {tier!r}; expected one of {TIERS}"
+                )
+            region = server.lend_memory(size_bytes, access=access, tier=tier)
         # 2. Create the server-side queue pair on its RNIC.
         server_qp = server.rnic.create_qp()
         # 3. Create the switch-side soft queue pair, sourced from the port.
@@ -155,6 +173,7 @@ class RdmaChannelController:
             length=region.length,
             region=region,
             server=server,
+            tier=tier,
         )
         self.channels.append(channel)
         return channel
@@ -252,6 +271,13 @@ class RdmaChannelController:
         connect_qps(switch_qp, server_qp)
         channel.switch_qp = switch_qp
         channel.server_qp = server_qp
+        # Re-assert the channel's tier on its region.  The region survives
+        # the reconnect, but recovery paths that re-registered it (e.g. a
+        # pool reopening the channel after a member bounce) used to come
+        # back tier-less — silently downgrading a fast region to DRAM
+        # service until the next full reopen.  The channel's tag is
+        # authoritative; restamp unconditionally.
+        channel.region.tier = channel.tier
         self._m_reconnects.inc()
         if self._trace is not None:
             self._trace.emit(

@@ -36,21 +36,25 @@ from __future__ import annotations
 import struct
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional, Tuple, Union
 
 from ..cuckoo import CuckooConfig, CuckooDirectory
 from ..net.addresses import Ipv4Address
 from ..net.headers import Ipv4Header
 from ..net.packet import Packet
+from ..policies.cache import CachePolicy, make_cache_policy
 from ..rdma.constants import Opcode, psn_distance
 from ..rdma.headers import BthHeader
+from ..rdma.memory import TIER_FAST
 from .._deprecation import warn_once
 from ..switches.hashing import FiveTuple, crc16
 from ..switches.pipeline import PipelineContext
 from ..switches.switch import ProgrammableSwitch
-from .cache_policy import CachePolicy, make_cache_policy
 from .channel import RemoteMemoryChannel
 from .rocegen import RoceRequestGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tiering uses core)
+    from ..tiering.geometry import TieredRegionGeometry
 
 ACTION_BYTES = 16
 _ACTION_FORMAT = "!BBII6x"
@@ -110,12 +114,44 @@ class LookupTableConfig:
     slots_per_bucket: int = 4
     max_kicks: int = 64
     max_relocations: int = 256
-    #: SRAM cache eviction policy: "fifo" (original), "lru", "lfu", "pin".
-    cache_policy: str = "fifo"
+    #: SRAM cache eviction policy, under the unified policy convention
+    #: (repro.policies): a name ("fifo", "lru", "lfu", "pin") or a
+    #: ready-built :class:`~repro.policies.cache.CachePolicy` instance.
+    policy: Union[str, CachePolicy, None] = None
     #: Seed for policy randomness (the pinning policy's threshold jitter).
-    cache_seed: int = 0
+    policy_seed: Optional[int] = None
+    #: Deprecated spellings of ``policy`` / ``policy_seed`` (pre-unified
+    #: API); still honoured, warn once, mirrored after normalization.
+    cache_policy: Optional[str] = None
+    cache_seed: Optional[int] = None
     #: Base promotion threshold for the "pin" policy.
     pin_threshold: int = 4
+
+    def __post_init__(self) -> None:
+        if self.cache_policy is not None:
+            warn_once(
+                "LookupTableConfig(cache_policy=...) is deprecated; "
+                "use policy= (repro.policies naming convention)"
+            )
+            if self.policy is None:
+                self.policy = self.cache_policy
+        if self.cache_seed is not None:
+            warn_once(
+                "LookupTableConfig(cache_seed=...) is deprecated; "
+                "use policy_seed="
+            )
+            if self.policy_seed is None:
+                self.policy_seed = self.cache_seed
+        if self.policy is None:
+            self.policy = "fifo"
+        if self.policy_seed is None:
+            self.policy_seed = 0
+        # Keep the legacy fields readable (old callers inspect them).
+        if isinstance(self.policy, str):
+            self.cache_policy = self.policy
+        else:
+            self.cache_policy = self.policy.policy_name
+        self.cache_seed = self.policy_seed
 
     @property
     def entry_bytes(self) -> int:
@@ -192,11 +228,23 @@ class RemoteLookupTable:
     def __init__(
         self,
         switch: ProgrammableSwitch,
-        channel: RemoteMemoryChannel,
+        channel: Optional[RemoteMemoryChannel] = None,
         config: Optional[LookupTableConfig] = None,
         default_action: Optional[RemoteAction] = None,
+        tiering: Optional["TieredRegionGeometry"] = None,
     ) -> None:
         self.switch = switch
+        self._tiering = tiering
+        if tiering is not None:
+            if channel is None:
+                channel = tiering.dram_channel
+            elif channel is not tiering.dram_channel:
+                raise ValueError(
+                    "channel must be the tiering geometry's DRAM home "
+                    "(or omitted)"
+                )
+        if channel is None:
+            raise ValueError("pass a channel or a tiering= geometry")
         self.channel = channel
         self.config = config if config is not None else LookupTableConfig()
         if self.config.mode not in ("bounce", "recirculate"):
@@ -209,6 +257,17 @@ class RemoteLookupTable:
                 f"layout {self.config.layout!r} needs {needed} B, exceeding "
                 f"the channel's {channel.length} B"
             )
+        if tiering is not None:
+            unit = (
+                self.config.pair_bytes
+                if self.config.layout == "cuckoo"
+                else self.config.entry_bytes
+            )
+            if tiering.unit_bytes != unit:
+                raise ValueError(
+                    f"tiering geometry unit_bytes={tiering.unit_bytes} does "
+                    f"not match the layout's indexed unit ({unit} B)"
+                )
         self.default_action = (
             default_action
             if default_action is not None
@@ -230,23 +289,37 @@ class RemoteLookupTable:
         self._m_degraded_defaults = self.metrics.counter("degraded_defaults")
         self._m_latency = self.metrics.histogram("remote_latency_ns")
         self.rocegen = RoceRequestGenerator(switch, channel)
-        self.metrics.gauge("pending", fn=lambda: len(self._pending))
+        # Tiered tables run one PSN stream per tier: fast-resident bucket
+        # pairs ride the fast channel's generator.
+        self._fastgen: Optional[RoceRequestGenerator] = None
+        self._fast_degraded = False
+        self._busy_blocks: Dict[int, int] = {}
+        if tiering is not None:
+            self._fastgen = RoceRequestGenerator(switch, tiering.fast_channel)
+            tiering.busy_check = (
+                lambda block: self._busy_blocks.get(block, 0) > 0
+            )
+        self.metrics.gauge(
+            "pending", fn=lambda: len(self._pending) + len(self._pending_fast)
+        )
         # Degraded mode (DESIGN.md §11): serve SRAM-cache hits and the
         # default action instead of bouncing packets into a dead channel.
         self._degraded = False
         self.metrics.gauge("degraded", fn=lambda: int(self._degraded))
         self.metrics.gauge("hit_rate", fn=self._cache_hit_rate)
-        self.cache: Optional[CachePolicy] = (
-            make_cache_policy(
-                self.config.cache_policy,
-                self.config.cache_entries,
-                scope=self.metrics.child("cache"),
-                seed=self.config.cache_seed,
-                pin_threshold=self.config.pin_threshold,
-            )
-            if self.config.cache_entries > 0
-            else None
-        )
+        policy = self.config.policy
+        self.cache: Optional[CachePolicy] = None
+        if self.config.cache_entries > 0:
+            if isinstance(policy, CachePolicy):
+                self.cache = policy
+            else:
+                self.cache = make_cache_policy(
+                    policy,
+                    self.config.cache_entries,
+                    metrics_scope=self.metrics.child("cache"),
+                    seed=self.config.policy_seed,
+                    pin_threshold=self.config.pin_threshold,
+                )
         # Cuckoo layout (repro.cuckoo): the control-plane directory owns
         # placement; the data plane keeps only the two hash seeds and the
         # on-chip choice filter.  ``install_seeds`` / the controller's
@@ -266,14 +339,18 @@ class RemoteLookupTable:
             cuckoo_scope.gauge(
                 "failed_inserts", fn=lambda: self.directory.failed_inserts
             )
-        # In-flight lookups, issue order.  Each entry records its READ's
-        # PSN so responses are matched exactly (a FIFO popleft would
-        # misalign after go-back-N losses discard a window of lookups).
+        # In-flight lookups, issue order, one FIFO per PSN stream.  Each
+        # entry records its READ's PSN so responses are matched exactly
+        # (a FIFO popleft would misalign after go-back-N losses discard a
+        # window of lookups).  ``_pending`` is the DRAM/home stream — the
+        # only one a non-tiered table has, which is why it keeps its
+        # pre-tiering name (the sharded table drains it by that name).
         self._pending: Deque[dict] = deque()
+        self._pending_fast: Deque[dict] = deque()
         # Guard against the NAK bursts one loss event produces: a resync
-        # is acted on once; echoes within the guard window are ignored so
-        # they cannot kill lookups issued after the resync.
-        self._last_resync: Optional[tuple] = None
+        # is acted on once per stream; echoes within the guard window are
+        # ignored so they cannot kill lookups issued after the resync.
+        self._last_resync: Dict[RoceRequestGenerator, tuple] = {}
         self._resync_guard_ns = 20_000.0
         #: Program-supplied forwarding policy applied after the action
         #: mutates the packet.  The default understands ACTION_SET_EGRESS
@@ -327,10 +404,56 @@ class RemoteLookupTable:
         return flow.hash() % self.config.entries
 
     def entry_address(self, index: int) -> int:
-        """Base address of indexed unit *index* (entry or bucket pair)."""
+        """DRAM-home address of indexed unit *index* (entry or bucket pair).
+
+        Tiered tables resolve the *current* serving address per operation
+        through :meth:`_locate`; the home address stays valid for probes.
+        """
         if self.config.layout == "cuckoo":
             return self.channel.base_address + index * self.config.pair_bytes
         return self.channel.base_address + index * self.config.entry_bytes
+
+    def _locate(
+        self, index: int
+    ) -> "Tuple[RoceRequestGenerator, int, Optional[int]]":
+        """(generator, address, block) serving *index* right now."""
+        if self._tiering is None:
+            return self.rocegen, self.entry_address(index), None
+        tier, address = self._tiering.resolve(index)
+        self._tiering.record_access(index, tier)
+        gen = self._fastgen if tier == TIER_FAST else self.rocegen
+        return gen, address, self._tiering.block_of(index)
+
+    def _entry_target(self, index: int) -> "Tuple[object, int]":
+        """(region, address) the control plane must write for *index*.
+
+        Installs always target the copy the data plane currently reads —
+        writing the DRAM home of a fast-resident pair would leave the
+        fast copy stale until its next demotion.
+        """
+        if self._tiering is None:
+            return self.channel.region, self.entry_address(index)
+        tier, address = self._tiering.resolve(index)
+        return self._tiering.channel_for(tier).region, address
+
+    def _pending_of(self, gen: RoceRequestGenerator) -> Deque[dict]:
+        if self._fastgen is not None and gen is self._fastgen:
+            return self._pending_fast
+        return self._pending
+
+    def _hold_block(self, block: Optional[int]) -> None:
+        if block is not None:
+            self._busy_blocks[block] = self._busy_blocks.get(block, 0) + 1
+
+    def _release_pending(self, pending: dict) -> None:
+        block = pending.get("block")
+        if block is None:
+            return
+        count = self._busy_blocks.get(block, 0) - 1
+        if count <= 0:
+            self._busy_blocks.pop(block, None)
+        else:
+            self._busy_blocks[block] = count
 
     def _build_directory(self, seed: int) -> None:
         self.directory = CuckooDirectory(
@@ -365,12 +488,6 @@ class RemoteLookupTable:
         self._build_directory(seed)
         return self.dataplane.seed0, self.dataplane.seed1
 
-    def _slot_address(self, ref) -> int:
-        """Server address of one cuckoo action slot."""
-        pair_base = self.entry_address(ref.index)
-        offset = (ref.table * self.config.slots_per_bucket + ref.slot)
-        return pair_base + offset * ACTION_BYTES
-
     def install(self, flow: FiveTuple, action: RemoteAction) -> int:
         """Control-plane write of *action* for *flow* into the remote table.
 
@@ -387,25 +504,27 @@ class RemoteLookupTable:
             return self._install_cuckoo(flow, action)
         index = self.index_of(flow)
         data = action.pack_with(fingerprint_of(flow))
-        self.channel.region.write(self.entry_address(index), data)
+        region, address = self._entry_target(index)
+        region.write(address, data)
         return index
+
+    def _write_slot(self, ref, data: bytes) -> None:
+        region, pair_base = self._entry_target(ref.index)
+        offset = ref.table * self.config.slots_per_bucket + ref.slot
+        region.write(pair_base + offset * ACTION_BYTES, data)
 
     def _install_cuckoo(self, flow: FiveTuple, action: RemoteAction) -> int:
         moves = self.directory.insert(flow)  # may raise CuckooFullError
         self._installed[flow] = action
         if not moves:  # re-install: rewrite the entry in place
             ref = self.directory.location[flow]
-            self.channel.region.write(
-                self._slot_address(ref),
-                action.pack_with(fingerprint_of(flow)),
-            )
+            self._write_slot(ref, action.pack_with(fingerprint_of(flow)))
             return ref.index
         written = set()
         for move in moves:
             moved_action = self._installed[move.key]
-            self.channel.region.write(
-                self._slot_address(move.dst),
-                moved_action.pack_with(fingerprint_of(move.key)),
+            self._write_slot(
+                move.dst, moved_action.pack_with(fingerprint_of(move.key))
             )
             written.add(move.dst)
         for move in moves:
@@ -415,9 +534,7 @@ class RemoteLookupTable:
                 and src not in written
                 and self.directory.slot_key(src) is None
             ):
-                self.channel.region.write(
-                    self._slot_address(src), b"\x00" * ACTION_BYTES
-                )
+                self._write_slot(src, b"\x00" * ACTION_BYTES)
         return self.directory.location[flow].index
 
     # -- data plane ---------------------------------------------------------------
@@ -464,7 +581,7 @@ class RemoteLookupTable:
     ) -> None:
         self._m_remote_lookups.inc()
         index = self.index_of(flow)
-        address = self.entry_address(index)
+        gen, address, block = self._locate(index)
         # Direct layout READs one action; cuckoo READs the whole bucket
         # pair (2 x slots_per_bucket actions) in the same single request —
         # the choice filter already picked the index, so there is never a
@@ -477,6 +594,7 @@ class RemoteLookupTable:
         pending = {
             "flow": flow,
             "index": index,
+            "block": block,
             "meta": dict(packet.meta),
             "issued_at": self.switch.sim.now,
         }
@@ -490,39 +608,46 @@ class RemoteLookupTable:
                     f"packet of {len(frame)} B exceeds the "
                     f"{slot_space} B packet slot"
                 )
-            self.rocegen.write(address + action_bytes, frame)
-            request = self.rocegen.read(address, action_bytes + len(frame))
+            gen.write(address + action_bytes, frame)
+            request = gen.read(address, action_bytes + len(frame))
         else:
             # §7 alternative: keep the packet recirculating locally and
             # fetch only the action slots.
             pending["parked"] = packet
-            request = self.rocegen.read(address, action_bytes)
+            request = gen.read(address, action_bytes)
         pending["read_psn"] = request.require(BthHeader).psn
-        self._pending.append(pending)
+        self._hold_block(block)
+        self._pending_of(gen).append(pending)
         ctx.drop()  # the original packet no longer proceeds on this pass
 
     # -- response path ----------------------------------------------------------------
 
     def try_handle(self, ctx: PipelineContext, packet: Packet) -> bool:
         """Consume READ responses for this table; True when handled."""
-        if not self.rocegen.owns_response(packet):
+        if self.rocegen.owns_response(packet):
+            gen = self.rocegen
+        elif self._fastgen is not None and self._fastgen.owns_response(packet):
+            gen = self._fastgen
+        else:
             return False
         ctx.drop()  # responses never leave the switch
-        opcode = self.rocegen.classify_response(packet)
-        if self.rocegen.is_nak(packet):
-            self._handle_nak(packet)
+        opcode = gen.classify_response(packet)
+        if gen.is_nak(packet):
+            self._handle_nak(gen, packet)
             return True
         if opcode != Opcode.RDMA_READ_RESPONSE_ONLY:
             return True
         # Match the response to its lookup by PSN; anything older in the
         # FIFO was lost to a drop window and never got a response.
         psn = packet.require(BthHeader).psn
-        while self._pending and self._pending[0]["read_psn"] != psn:
-            self._pending.popleft()
+        fifo = self._pending_of(gen)
+        while fifo and fifo[0]["read_psn"] != psn:
+            self._release_pending(fifo.popleft())
             self._m_lookups_lost.inc()
-        if not self._pending:
+        if not fifo:
             return True  # stale response from before a resync
-        pending = self._pending.popleft()
+        pending = fifo.popleft()
+        self._release_pending(pending)
         self._m_latency.observe(self.switch.sim.now - pending["issued_at"])
         entry = packet.payload
         flow: FiveTuple = pending["flow"]
@@ -591,7 +716,7 @@ class RemoteLookupTable:
                 self._cache_fill(flow, action)
         return action, ACTION_BYTES
 
-    def _handle_nak(self, packet: Packet) -> None:
+    def _handle_nak(self, gen: RoceRequestGenerator, packet: Packet) -> None:
         """One loss event → one resync: discard the rejected lookup suffix.
 
         The NAK names the responder's expected PSN ``e``; every in-flight
@@ -602,19 +727,21 @@ class RemoteLookupTable:
         """
         expected = packet.require(BthHeader).psn
         now = self.switch.sim.now
+        last = self._last_resync.get(gen)
         if (
-            self._last_resync is not None
-            and self._last_resync[0] == expected
-            and now - self._last_resync[1] < self._resync_guard_ns
+            last is not None
+            and last[0] == expected
+            and now - last[1] < self._resync_guard_ns
         ):
             return  # echo of an already-handled loss event
-        self._last_resync = (expected, now)
-        self.rocegen.record_strike()  # one loss event = one strike
-        self.rocegen.maybe_resync(packet)
-        while self._pending and psn_distance(
-            expected, self._pending[-1]["read_psn"]
+        self._last_resync[gen] = (expected, now)
+        gen.record_strike()  # one loss event = one strike
+        gen.maybe_resync(packet)
+        fifo = self._pending_of(gen)
+        while fifo and psn_distance(
+            expected, fifo[-1]["read_psn"]
         ) < (1 << 23):
-            self._pending.pop()
+            self._release_pending(fifo.pop())
             self._m_lookups_lost.inc()
 
     # -- degraded mode & recovery (DESIGN.md §11) --------------------------------
@@ -632,9 +759,36 @@ class RemoteLookupTable:
         if self._degraded:
             return
         self._degraded = True
-        while self._pending:
-            self._pending.popleft()
+        for fifo in (self._pending, self._pending_fast):
+            while fifo:
+                self._release_pending(fifo.popleft())
+                self._m_lookups_lost.inc()
+
+    def degrade_fast(self) -> None:
+        """Fast tier unhealthy: spill to DRAM and keep serving (§13).
+
+        The demote-not-drop half of degraded mode for the lookup table:
+        in-flight fast-tier lookups are written off (their bounced
+        packets sit in an unreachable window — the same accounting §7
+        applies to drops), the fast blocks are written back to their
+        DRAM homes, and misses keep bouncing against DRAM.  Installed
+        actions lose nothing: the write-back carries them home.
+        """
+        if self._tiering is None or self._fast_degraded:
+            return
+        self._fast_degraded = True
+        while self._pending_fast:
+            self._release_pending(self._pending_fast.popleft())
             self._m_lookups_lost.inc()
+        self._tiering.fast_enabled = False
+        self._tiering.demote_all(force=True)
+
+    def recover_fast(self) -> None:
+        """Re-enable the fast tier after its channel came back."""
+        if self._tiering is None or not self._fast_degraded:
+            return
+        self._fast_degraded = False
+        self._tiering.fast_enabled = True
 
     def probe(self, channel: Optional[RemoteMemoryChannel] = None) -> None:
         """Send one canary READ of entry 0 down the (possibly fresh) QP.

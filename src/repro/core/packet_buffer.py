@@ -278,6 +278,19 @@ class RemotePacketBuffer:
         switch.tm.dequeue_listeners.append(self._on_dequeue)
 
     @property
+    def tiers(self) -> List[str]:
+        """Memory tier of each ring's backing channel (DESIGN.md §13).
+
+        A buffer whose rings were placed with
+        ``TieredMemoryPool.place_channel(..., tier="fast")`` stores and
+        loads bursts with the RNIC's fast-tier service profile — the
+        whole-object static pin the tiering design gives packet buffers
+        (their access pattern is a ring sweep: block-granular promotion
+        would thrash, so the ring is pinned as a unit).
+        """
+        return [channel.tier for channel in self.channels]
+
+    @property
     def stats(self) -> PacketBufferStats:
         """Legacy stats shim: a snapshot of this buffer's metrics."""
         return PacketBufferStats(

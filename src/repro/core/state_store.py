@@ -20,18 +20,22 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from .._deprecation import warn_once
 from ..net.packet import Packet
 from ..rdma.constants import ATOMIC_OPERAND_BYTES, Opcode, psn_distance
 from ..rdma.headers import BthHeader
+from ..rdma.memory import TIER_FAST
 from ..switches.hashing import FiveTuple
 from ..switches.pipeline import PipelineContext
 from ..switches.registers import RegisterArray
 from ..switches.switch import ProgrammableSwitch
 from .channel import RemoteMemoryChannel
 from .rocegen import RoceRequestGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tiering uses core)
+    from ..tiering.geometry import TieredRegionGeometry
 
 #: Register index of the outstanding-operation count.
 _OUTSTANDING = 0
@@ -85,12 +89,35 @@ class RemoteStateStore:
     def __init__(
         self,
         switch: ProgrammableSwitch,
-        channel: RemoteMemoryChannel,
+        channel: Optional[RemoteMemoryChannel] = None,
         config: Optional[StateStoreConfig] = None,
+        tiering: Optional["TieredRegionGeometry"] = None,
     ) -> None:
         self.switch = switch
+        self._tiering = tiering
+        if tiering is not None:
+            if channel is None:
+                channel = tiering.dram_channel
+            elif channel is not tiering.dram_channel:
+                raise ValueError(
+                    "channel must be the tiering geometry's DRAM home "
+                    "(or omitted)"
+                )
+            if tiering.unit_bytes != ATOMIC_OPERAND_BYTES:
+                raise ValueError(
+                    f"tiered counters need unit_bytes="
+                    f"{ATOMIC_OPERAND_BYTES}, geometry has "
+                    f"{tiering.unit_bytes}"
+                )
+        if channel is None:
+            raise ValueError("pass a channel or a tiering= geometry")
         self.channel = channel
         self.config = config if config is not None else StateStoreConfig()
+        if tiering is not None and self.config.counters > tiering.units:
+            raise ValueError(
+                f"{self.config.counters} counters exceed the tiering "
+                f"geometry's {tiering.units} units"
+            )
         if self.config.count_mode not in ("packets", "bytes"):
             raise ValueError(f"unknown count mode: {self.config.count_mode!r}")
         if self.config.batch_size < 1:
@@ -118,7 +145,18 @@ class RemoteStateStore:
         self._m_reconcile_reads = self.metrics.counter("reconcile_reads")
         self._m_reconciled_applied = self.metrics.counter("reconciled_applied")
         self._m_reconciled_reissued = self.metrics.counter("reconciled_reissued")
+        self._h_op_latency = self.metrics.histogram("op_latency_ns")
         self.rocegen = RoceRequestGenerator(switch, channel)
+        # Tiered stores run one PSN stream per tier: a second generator
+        # drives the fast window, and all reliable-mode tracking is keyed
+        # by generator because PSN spaces are per-QP.
+        self._fastgen: Optional[RoceRequestGenerator] = None
+        if tiering is not None:
+            self._fastgen = RoceRequestGenerator(switch, tiering.fast_channel)
+            tiering.busy_check = self._block_busy
+        self._gens: List[RoceRequestGenerator] = [self.rocegen]
+        if self._fastgen is not None:
+            self._gens.append(self._fastgen)
         self._regs = RegisterArray("statestore", 1, width_bits=16)
         self.metrics.gauge("outstanding", fn=lambda: self._regs.read(_OUTSTANDING))
         self.metrics.gauge("pending_value", fn=lambda: sum(self._accumulators.values()))
@@ -127,25 +165,44 @@ class RemoteStateStore:
         # On hardware this is a register array indexed by counter index;
         # FIFO order keeps flushing fair.
         self._accumulators: "OrderedDict[int, int]" = OrderedDict()
-        # Reliable mode: in-flight operations (psn, index, value), oldest
-        # first, plus the retransmission watchdog state.
-        self._inflight_ops: "OrderedDict[int, tuple]" = OrderedDict()
+        # Reliable mode: per-generator in-flight operations
+        # psn -> (index, value, address), oldest first, plus the
+        # retransmission watchdog state.  The address is recorded at issue
+        # time so retransmissions replay the *original* target even if the
+        # block moved tiers since (it cannot — busy blocks refuse to move —
+        # but the invariant is cheap to keep by construction).
+        self._inflight: Dict[
+            RoceRequestGenerator, "OrderedDict[int, tuple]"
+        ] = {gen: OrderedDict() for gen in self._gens}
         self._retry_armed = False
-        self._retry_snapshot: Optional[int] = None
+        self._retry_snapshot: Dict[
+            RoceRequestGenerator, Optional[int]
+        ] = {}
+        # psn -> (block, t_issue_ns) per generator: feeds the busy-block
+        # refcounts (a block with operations on the wire must not change
+        # tier) and the op_latency_ns histogram.  Local bookkeeping only —
+        # it never touches the wire, in either reliability mode.
+        self._op_meta: Dict[
+            RoceRequestGenerator, "OrderedDict[int, tuple]"
+        ] = {gen: OrderedDict() for gen in self._gens}
+        self._busy_blocks: Dict[int, int] = {}
         self._closed = False
         # Degraded mode (DESIGN.md §11): while the channel's breaker is
         # open the store accumulates locally and never drives the wire.
         self._degraded = False
+        # Fast-tier partial degrade (DESIGN.md §13): the fast window is
+        # out of service but the store keeps running against DRAM.
+        self._fast_degraded = False
         # Ops that were in flight when the channel degraded: their fate is
         # unknown (executed with a lost ACK, or never delivered) until the
         # post-recovery reconcile reads the remote counters.
-        self._suspended_ops: "OrderedDict[int, tuple]" = OrderedDict()
+        self._suspended_ops: List[Tuple[int, int]] = []
         # Reliable mode: per-index value definitely applied remotely (every
         # acked op adds here) — the reference point the reconcile compares
         # remote counter values against for exactly-once recovery.
         self._committed: Dict[int, int] = {}
-        # Outstanding reconcile READs: psn -> counter index.
-        self._reconcile_reads: Dict[int, int] = {}
+        # Outstanding reconcile READs: (generator, psn) -> counter index.
+        self._reconcile_reads: Dict[tuple, int] = {}
         # Suspended value per index awaiting its reconcile READ.
         self._reconcile_value: Dict[int, int] = {}
 
@@ -186,7 +243,33 @@ class RemoteStateStore:
         return flow.hash() % self.config.counters
 
     def counter_address(self, index: int) -> int:
+        """The counter's DRAM-home address (tier-agnostic).
+
+        Tiered stores resolve the *current* serving address per operation
+        through :meth:`_locate`; the DRAM home stays valid for probes and
+        anything that only needs a reachable address on the home channel.
+        """
         return self.channel.base_address + index * ATOMIC_OPERAND_BYTES
+
+    def _locate(
+        self, index: int, record: bool = True
+    ) -> "Tuple[RoceRequestGenerator, int, Optional[int]]":
+        """(generator, address, block) serving *index* right now.
+
+        The tier resolution is the only thing tiering changes on the hot
+        path: a fast-resident block rides the fast channel's generator
+        (and therefore the RNIC's fast-tier service profile), everything
+        else the DRAM home.  ``record`` feeds the access into the
+        geometry's per-block counters — the signal placement policies
+        promote on.
+        """
+        if self._tiering is None:
+            return self.rocegen, self.counter_address(index), None
+        tier, address = self._tiering.resolve(index)
+        if record:
+            self._tiering.record_access(index, tier)
+        gen = self._fastgen if tier == TIER_FAST else self.rocegen
+        return gen, address, self._tiering.block_of(index)
 
     # -- data plane -----------------------------------------------------------------
 
@@ -241,50 +324,98 @@ class RemoteStateStore:
     def _issue(self, index: int, value: int) -> None:
         # Negative deltas (Count Sketch's ±1 updates) ride as two's
         # complement: Fetch-and-Add is modulo 2^64 on both ends.
-        request = self.rocegen.fetch_add(
-            self.counter_address(index), value % (1 << 64)
-        )
+        gen, address, block = self._locate(index)
+        request = gen.fetch_add(address, value % (1 << 64))
+        psn = request.require(BthHeader).psn
+        self._op_meta[gen][psn] = (block, self.switch.sim.now)
+        if block is not None:
+            self._busy_blocks[block] = self._busy_blocks.get(block, 0) + 1
         if self.config.reliable:
-            psn = request.require(BthHeader).psn
-            self._inflight_ops[psn] = (index, value)
+            self._inflight[gen][psn] = (index, value, address)
             self._arm_retry()
         self._regs.add(_OUTSTANDING, 1)
         self._m_ops.inc()
         self._m_value.inc(value)
 
+    # -- busy-block / latency bookkeeping ------------------------------------
+
+    def _block_busy(self, block: int) -> bool:
+        """True while *block* has operations on the wire (must not move)."""
+        return self._busy_blocks.get(block, 0) > 0
+
+    def _release_block(self, block: Optional[int]) -> None:
+        if block is None:
+            return
+        count = self._busy_blocks.get(block, 0) - 1
+        if count <= 0:
+            self._busy_blocks.pop(block, None)
+        else:
+            self._busy_blocks[block] = count
+
+    def _retire_meta_through(self, gen: RoceRequestGenerator, psn: int) -> None:
+        """Retire issue-time bookkeeping for every op at or before *psn*."""
+        meta = self._op_meta[gen]
+        retired = [p for p in meta if psn_distance(p, psn) < (1 << 23)]
+        now = self.switch.sim.now
+        for p in retired:
+            block, issued = meta.pop(p)
+            self._h_op_latency.observe(now - issued)
+            self._release_block(block)
+
+    def _clear_meta(self, gen: RoceRequestGenerator) -> None:
+        """Drop a generator's issue-time bookkeeping (resync/suspend/close)."""
+        for block, _issued in self._op_meta[gen].values():
+            self._release_block(block)
+        self._op_meta[gen].clear()
+
+    def _total_inflight(self) -> int:
+        return sum(len(ops) for ops in self._inflight.values())
+
     # -- response path ---------------------------------------------------------------
+
+    def _owning_gen(self, packet: Packet) -> Optional[RoceRequestGenerator]:
+        if self.rocegen.owns_response(packet):
+            return self.rocegen
+        if self._fastgen is not None and self._fastgen.owns_response(packet):
+            return self._fastgen
+        return None
 
     def try_handle(self, ctx: PipelineContext, packet: Packet) -> bool:
         """Consume atomic acknowledgements; True when handled."""
-        if not self.rocegen.owns_response(packet):
+        gen = self._owning_gen(packet)
+        if gen is None:
             return False
         ctx.drop()
-        opcode = self.rocegen.classify_response(packet)
+        opcode = gen.classify_response(packet)
         if opcode == Opcode.RDMA_READ_RESPONSE_ONLY:
             # Reconcile READ after a recovery (or a breaker probe, whose
             # PSN matches nothing and is ignored here — classify_response
             # already reported it as progress).
-            self._complete_reconcile(packet)
+            self._complete_reconcile(gen, packet)
             return True
         if opcode not in (Opcode.ATOMIC_ACKNOWLEDGE, Opcode.ACKNOWLEDGE):
             return True
-        if self.rocegen.is_nak(packet):
+        if gen.is_nak(packet):
             self._m_naks.inc()
             if self.config.reliable:
                 # Go-back-N: retransmit rejected operations with their
                 # original PSNs (never resync backwards — reusing a PSN for
                 # a *different* operation would let the replay cache
                 # swallow it).
-                self._handle_nak_reliable(packet)
+                self._handle_nak_reliable(gen, packet)
             else:
                 # Best-effort: the operation's value is lost; resync the
                 # PSN stream so later operations are not rejected too.
-                self.rocegen.maybe_resync(packet)
-        elif self.config.reliable:
-            self._m_acks.inc()
-            self._ack_through(packet.require(BthHeader).psn)
+                # Nothing of ours is left on this stream's wire, so the
+                # busy-block holds release.
+                gen.maybe_resync(packet)
+                self._clear_meta(gen)
         else:
             self._m_acks.inc()
+            psn = packet.require(BthHeader).psn
+            self._retire_meta_through(gen, psn)
+            if self.config.reliable:
+                self._ack_through(gen, psn)
         if not self.config.reliable:
             self._regs.write(
                 _OUTSTANDING, max(0, self._regs.read(_OUTSTANDING) - 1)
@@ -294,19 +425,22 @@ class RemoteStateStore:
 
     # -- reliable-mode machinery (§7 extension) ---------------------------------
 
-    def _ack_through(self, psn: int) -> None:
+    def _ack_through(self, gen: RoceRequestGenerator, psn: int) -> None:
         """Retire every in-flight op at or before *psn* (RC is in order)."""
+        inflight = self._inflight[gen]
         retired = [
             p
-            for p in self._inflight_ops
+            for p in inflight
             if psn_distance(p, psn) < (1 << 23)
         ]
         for p in retired:
-            index, value = self._inflight_ops.pop(p)
+            index, value, _address = inflight.pop(p)
             self._committed[index] = self._committed.get(index, 0) + value
-        self._regs.write(_OUTSTANDING, len(self._inflight_ops))
+        self._regs.write(_OUTSTANDING, self._total_inflight())
 
-    def _handle_nak_reliable(self, packet: Packet) -> None:
+    def _handle_nak_reliable(
+        self, gen: RoceRequestGenerator, packet: Packet
+    ) -> None:
         """A NAK names the first rejected PSN: ops before it executed, ops
         from it on never did — retransmit them verbatim, in PSN order.
 
@@ -316,48 +450,59 @@ class RemoteStateStore:
         cache absorbs.
         """
         expected = packet.require(BthHeader).psn
-        for p in list(self._inflight_ops):
+        inflight = self._inflight[gen]
+        for p in list(inflight):
             if psn_distance(expected, p) >= (1 << 23):
                 # p < expected: already executed; its response may have
                 # been lost, but the count is safely applied.
-                index, value = self._inflight_ops.pop(p)
+                index, value, _address = inflight.pop(p)
                 self._committed[index] = self._committed.get(index, 0) + value
-        for p, (index, value) in self._inflight_ops.items():
-            self.rocegen.fetch_add(
-                self.counter_address(index), value % (1 << 64), psn=p
-            )
+        # The executed prefix is done on the wire too — release its
+        # busy-block holds and record its latencies.
+        self._retire_meta_through(gen, (expected - 1) % (1 << 24))
+        for p, (index, value, address) in inflight.items():
+            gen.fetch_add(address, value % (1 << 64), psn=p)
             self._m_requeued.inc()
-        self._regs.write(_OUTSTANDING, len(self._inflight_ops))
+        self._regs.write(_OUTSTANDING, self._total_inflight())
 
     def _arm_retry(self) -> None:
         if self._retry_armed or self._closed or self._degraded:
             return
         self._retry_armed = True
-        self._retry_snapshot = next(iter(self._inflight_ops), None)
+        self._retry_snapshot = {
+            gen: next(iter(ops), None) for gen, ops in self._inflight.items()
+        }
         self.switch.sim.schedule(self.config.retry_timeout_ns, self._retry_check)
 
     def _retry_check(self) -> None:
         self._retry_armed = False
-        if self._degraded or not self._inflight_ops:
+        if self._degraded or not self._total_inflight():
             return
-        head = next(iter(self._inflight_ops))
-        if head != self._retry_snapshot:
+        stalled = [
+            (gen, head)
+            for gen, ops in self._inflight.items()
+            for head in [next(iter(ops), None)]
+            if head is not None and head == self._retry_snapshot.get(gen)
+        ]
+        if not stalled:
             self._arm_retry()
             return
-        # The oldest operation saw no progress for a full window: its
-        # request or response was lost.  Retransmit verbatim (same PSN);
-        # the RNIC's replay cache makes this idempotent.
-        self.rocegen.record_timeout()
-        if self._closed or head not in self._inflight_ops:
-            # The timeout report tripped the health monitor, which closed
-            # this store reentrantly — nothing left to retransmit.
-            return
-        index, value = self._inflight_ops[head]
-        self.rocegen.fetch_add(
-            self.counter_address(index), value % (1 << 64), psn=head
-        )
-        self._m_retx.inc()
-        self._arm_retry()
+        # The oldest operation on a stream saw no progress for a full
+        # window: its request or response was lost.  Retransmit verbatim
+        # (same PSN, same address); the RNIC's replay cache makes this
+        # idempotent.
+        for gen, head in stalled:
+            gen.record_timeout()
+            if self._closed or self._degraded or head not in self._inflight[gen]:
+                # The timeout report tripped the health monitor, which
+                # closed or degraded this store reentrantly — nothing
+                # left to retransmit on this stream.
+                continue
+            index, value, address = self._inflight[gen][head]
+            gen.fetch_add(address, value % (1 << 64), psn=head)
+            self._m_retx.inc()
+        if not self._closed and not self._degraded:
+            self._arm_retry()
 
     def _flush(self) -> None:
         """Issue accumulated updates while the outstanding window has room.
@@ -413,9 +558,46 @@ class RemoteStateStore:
         if self._degraded:
             return
         self._degraded = True
-        self._suspended_ops.update(self._inflight_ops)
-        self._inflight_ops.clear()
+        for gen in self._gens:
+            for index, value, _address in self._inflight[gen].values():
+                self._suspended_ops.append((index, value))
+            self._inflight[gen].clear()
+            self._clear_meta(gen)
         self._regs.write(_OUTSTANDING, 0)
+
+    def degrade_fast(self) -> None:
+        """Fast tier unhealthy: spill to DRAM and keep serving (§13).
+
+        The demote-not-drop half of degraded mode.  In-flight fast-tier
+        operations are suspended, every fast block is written back to its
+        DRAM home, and the store keeps issuing — against DRAM only.  In
+        reliable mode the suspended values reconcile immediately through
+        the healthy DRAM channel: the write-back happens after any
+        executed fast op, so the DRAM read sees exactly committed +
+        applied and the arithmetic loses nothing.  Best-effort mode
+        forgets them, as it forgets any loss.
+        """
+        if self._tiering is None or self._fast_degraded:
+            return
+        self._fast_degraded = True
+        gen = self._fastgen
+        if self.config.reliable:
+            for index, value, _address in self._inflight[gen].values():
+                self._suspended_ops.append((index, value))
+        self._inflight[gen].clear()
+        self._clear_meta(gen)
+        self._regs.write(_OUTSTANDING, self._total_inflight())
+        self._tiering.fast_enabled = False
+        self._tiering.demote_all(force=True)
+        if self.config.reliable and self._suspended_ops and not self._degraded:
+            self._start_reconcile()
+
+    def recover_fast(self) -> None:
+        """Re-enable the fast tier after its channel came back."""
+        if self._tiering is None or not self._fast_degraded:
+            return
+        self._fast_degraded = False
+        self._tiering.fast_enabled = True
 
     def probe(self, channel: Optional[RemoteMemoryChannel] = None) -> None:
         """Send one canary READ down the (possibly fresh) QP.
@@ -444,27 +626,30 @@ class RemoteStateStore:
         if self.config.reliable and self._suspended_ops:
             self._start_reconcile()
         else:
-            self._suspended_ops.clear()
+            self._suspended_ops = []
             self.flush_all()
 
     def _start_reconcile(self) -> None:
         suspended: Dict[int, int] = {}
-        for index, value in self._suspended_ops.values():
+        for index, value in self._suspended_ops:
             suspended[index] = suspended.get(index, 0) + value
-        self._suspended_ops.clear()
+        self._suspended_ops = []
         for index in suspended:
             self._reconcile_value[index] = (
                 self._reconcile_value.get(index, 0) + suspended[index]
             )
-            request = self.rocegen.read(
-                self.counter_address(index), ATOMIC_OPERAND_BYTES
-            )
-            self._reconcile_reads[request.require(BthHeader).psn] = index
+            # Read the counter's *current* serving address — after a
+            # fast-tier spill that is the freshly written-back DRAM home.
+            gen, address, _block = self._locate(index, record=False)
+            request = gen.read(address, ATOMIC_OPERAND_BYTES)
+            self._reconcile_reads[(gen, request.require(BthHeader).psn)] = index
             self._m_reconcile_reads.inc()
 
-    def _complete_reconcile(self, packet: Packet) -> None:
+    def _complete_reconcile(
+        self, gen: RoceRequestGenerator, packet: Packet
+    ) -> None:
         psn = packet.require(BthHeader).psn
-        index = self._reconcile_reads.pop(psn, None)
+        index = self._reconcile_reads.pop((gen, psn), None)
         if index is None:
             return  # breaker probe or stale READ — nothing to reconcile
         remote = int.from_bytes(packet.payload[:ATOMIC_OPERAND_BYTES], "big")
@@ -494,9 +679,11 @@ class RemoteStateStore:
         replication (the cluster layer) is what keeps the data safe.
         """
         self._closed = True
-        self._inflight_ops.clear()
+        for gen in self._gens:
+            self._inflight[gen].clear()
+            self._clear_meta(gen)
         self._accumulators.clear()
-        self._suspended_ops.clear()
+        self._suspended_ops = []
         self._reconcile_reads.clear()
         self._reconcile_value.clear()
         self._regs.write(_OUTSTANDING, 0)
@@ -514,6 +701,12 @@ class RemoteStateStore:
 
     def read_counter_via_control_plane(self, index: int) -> int:
         """Operator-side counter read (estimation algorithms run here, §4)."""
+        if self._tiering is not None:
+            tier, address = self._tiering.resolve(index)
+            raw = self._tiering.channel_for(tier).region.read(
+                address, ATOMIC_OPERAND_BYTES
+            )
+            return int.from_bytes(raw, "big")
         raw = self.channel.region.read(
             self.counter_address(index), ATOMIC_OPERAND_BYTES
         )

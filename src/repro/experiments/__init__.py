@@ -14,6 +14,8 @@ One module per result:
 * :mod:`.ablations`          — §7 design-choice ablations
 * :mod:`.scaleout`           — cluster sharding / failover studies
 * :mod:`.chaos`              — lossy-link soak (fault injection + recovery)
+* :mod:`.lookup_scale`       — EMOMA-scale cuckoo/cache/Zipf lookup study
+* :mod:`.tiering`            — tiered-memory placement-policy study (§13)
 
 Each ``run_*`` harness has a matching ``format_*`` text renderer; both
 are exported here.  The library surface itself (primitives, testbed,

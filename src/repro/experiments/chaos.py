@@ -36,6 +36,7 @@ from ..core.packet_buffer import (
 from ..core.state_store import RemoteStateStore, StateStoreConfig
 from ..faults import Blackout, FaultPlan, IidLoss
 from ..net.headers import UdpHeader
+from ..policies import BreakerPolicy
 from ..rdma.constants import ATOMIC_OPERAND_BYTES
 from ..resilience import CircuitBreakerConfig, SelfHealingChannel
 from ..sim.rng import SeedSequence
@@ -364,8 +365,10 @@ def run_chaos_recovery(
         tb.controller,
         channel,
         store,
-        config=_recovery_breaker_config(),
-        rng=seeds.stream("breaker[store]"),
+        policy=BreakerPolicy(
+            config=_recovery_breaker_config(),
+            rng=seeds.stream("breaker[store]"),
+        ),
     )
 
     plan = FaultPlan(seed=seed)
@@ -448,8 +451,10 @@ def run_chaos_recovery(
         tb2.controller,
         buf_channel,
         primitive,
-        config=_recovery_breaker_config(),
-        rng=seeds.stream("breaker[pktbuf]"),
+        policy=BreakerPolicy(
+            config=_recovery_breaker_config(),
+            rng=seeds.stream("breaker[pktbuf]"),
+        ),
     )
 
     sink = PacketSink(tb2.hosts[1], dst_port=_DST_PORT)

@@ -177,8 +177,8 @@ def run_policy_point(
         cache_entries=cache_entries,
         layout="cuckoo",
         hash_seed=seed,
-        cache_policy=policy,
-        cache_seed=seed,
+        policy=policy,
+        policy_seed=seed,
     )
     channel = tb.controller.open_channel(
         tb.memory_server, tb.server_port, config.region_bytes

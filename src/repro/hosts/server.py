@@ -14,7 +14,7 @@ from ..net.addresses import Ipv4Address, MacAddress
 from ..net.node import Interface, Node
 from ..net.packet import Packet
 from ..rdma.headers import BthHeader
-from ..rdma.memory import AccessFlags, Dram, MemoryRegion
+from ..rdma.memory import TIER_DRAM, AccessFlags, Dram, MemoryRegion
 from ..rdma.rnic import Rnic, RnicConfig
 from ..sim.simulator import Simulator
 from ..sim.units import gib
@@ -101,9 +101,18 @@ class MemoryServer(Host):
         self.cpu_packets += 1
 
     def lend_memory(
-        self, length: int, access: AccessFlags = AccessFlags.ALL_REMOTE
+        self,
+        length: int,
+        access: AccessFlags = AccessFlags.ALL_REMOTE,
+        tier: str = TIER_DRAM,
     ) -> MemoryRegion:
-        """Register a DRAM region for remote use and record the loan."""
-        region = self.dram.register(length, access=access)
+        """Register a DRAM region for remote use and record the loan.
+
+        ``tier`` tags the region with the memory tier it models
+        (DESIGN.md §13): ``"fast"`` regions are served with the RNIC's
+        fast-tier profile (lower READ latency, faster atomics) while
+        still living in this server's budgeted DRAM object.
+        """
+        region = self.dram.register(length, access=access, tier=tier)
         self.lent_regions.append(region)
         return region

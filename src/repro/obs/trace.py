@@ -46,6 +46,10 @@ KIND_BREAKER = "BREAKER"
 #: A control-plane QP reconnect on a live channel; ``channel`` names the
 #: channel and ``psn`` carries the fresh switch-side QPN.
 KIND_RECONNECT = "RECONNECT"
+#: A tier placement move (promotion/demotion, DESIGN.md §13); ``channel``
+#: carries ``"<object>:<direction>"`` (e.g. ``"counters:promote"``),
+#: ``psn`` the block index, and ``wire_bytes`` the block size copied.
+KIND_TIER_MOVE = "TIER_MOVE"
 
 
 @dataclass

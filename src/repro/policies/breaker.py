@@ -1,0 +1,60 @@
+"""Breaker policies: how a self-healing channel decides it is broken.
+
+:class:`~repro.resilience.SelfHealingChannel` previously took raw
+``config=`` / ``rng=`` wiring; :class:`BreakerPolicy` packages both under
+the unified ``(seed, metrics_scope)`` convention so breaker behaviour is
+declared the same way cache eviction and tier placement are::
+
+    guard = SelfHealingChannel(
+        controller, channel, store,
+        policy=BreakerPolicy(seed=7, fail_threshold=2),
+    )
+
+Thresholds may be given as keyword arguments (forwarded to
+:class:`~repro.resilience.CircuitBreakerConfig`) or as a prebuilt
+``config=``; ``rng=`` accepts an explicit random stream for experiments
+that derive per-channel streams from one seed sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..obs.registry import MetricScope
+from ..resilience.breaker import CircuitBreaker, CircuitBreakerConfig
+from .base import Policy
+
+
+class BreakerPolicy(Policy):
+    """Circuit-breaker thresholds + probe-jitter seeding, as a policy."""
+
+    policy_kind = "breaker"
+    policy_name = "breaker"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        metrics_scope: Optional[MetricScope] = None,
+        config: Optional[CircuitBreakerConfig] = None,
+        rng: Optional[random.Random] = None,
+        **thresholds,
+    ) -> None:
+        super().__init__(seed=seed, metrics_scope=metrics_scope)
+        if config is not None and thresholds:
+            raise ValueError(
+                "pass either config= or threshold kwargs, not both: "
+                f"{sorted(thresholds)}"
+            )
+        self.config = config if config is not None else CircuitBreakerConfig(
+            **thresholds
+        )
+        self._rng = rng
+
+    def rng(self) -> random.Random:
+        """The probe-jitter stream: explicit ``rng=`` or seeded fresh."""
+        return self._rng if self._rng is not None else random.Random(self.seed)
+
+    def build(self, sim, name: str) -> CircuitBreaker:
+        """Construct the breaker this policy describes for channel *name*."""
+        return CircuitBreaker(sim, name, config=self.config, rng=self.rng())

@@ -1,0 +1,307 @@
+"""Placement policies: which blocks of a tiered object live in which tier.
+
+The tiered pool (:class:`repro.tiering.TieredMemoryPool`) slices every
+tiered object into fixed-size *blocks*.  Each policy tick, the pool
+gathers one :class:`BlockStat` per block (current tier, access count
+since the last tick, pin, busy flag) into a :class:`PlacementView` and
+asks the policy to :meth:`~PlacementPolicy.plan` a list of
+:class:`TierMove` decisions.  The pool executes them — promotion copies
+a block's bytes DRAM→fast, demotion writes them back — so a policy is
+pure decision logic: deterministic, unit-testable without a simulator,
+and swappable mid-experiment.
+
+Three built-ins mirror the cache-policy registry:
+
+* ``static``    — honour per-block pins only; nothing moves on its own.
+* ``frequency`` — promote the hottest blocks past a seeded per-block
+  threshold (jittered hysteresis breaks synchronized promotion waves),
+  displacing strictly-colder fast blocks once the tier is full.
+* ``watermark`` — promote any accessed block until the fast tier hits a
+  high occupancy watermark, then demote the coldest blocks down to the
+  low watermark.
+
+Invariants every policy must keep (checked by the pool): never move a
+``busy`` block (in-flight RDMA ops pin it), never promote past
+``fast_capacity``, and never demote a block pinned fast.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..obs.registry import MetricScope
+from ..rdma.memory import TIER_DRAM, TIER_FAST
+from .base import Policy
+
+#: Policy names accepted by :func:`make_placement_policy`.
+PLACEMENT_POLICIES = ("static", "frequency", "watermark")
+
+
+@dataclass(frozen=True)
+class TierMove:
+    """One placement decision: move *block* of *object_name* to *to_tier*."""
+
+    object_name: str
+    block: int
+    to_tier: str
+    reason: str  # "promote" | "demote" | "pin" | "spill"
+
+
+@dataclass
+class BlockStat:
+    """Per-block input to :meth:`PlacementPolicy.plan` for one tick."""
+
+    object_name: str
+    block: int
+    tier: str
+    accesses: int
+    pin: Optional[str] = None
+    busy: bool = False
+
+    def key(self) -> bytes:
+        """Stable token for seeded per-block jitter."""
+        return self.object_name.encode() + struct.pack("!I", self.block)
+
+
+@dataclass
+class PlacementView:
+    """Everything a policy may consult: block stats + fast-tier budget."""
+
+    blocks: List[BlockStat] = field(default_factory=list)
+    fast_capacity: int = 0  # blocks
+    fast_used: int = 0  # blocks currently resident fast
+
+
+class PlacementPolicy(Policy):
+    """Base class for tier placement policies."""
+
+    policy_kind = "placement"
+    policy_name = "?"
+
+    def plan(self, view: PlacementView) -> List[TierMove]:
+        raise NotImplementedError
+
+    # -- shared selection helpers -------------------------------------------
+
+    @staticmethod
+    def _movable(stat: BlockStat) -> bool:
+        return not stat.busy
+
+    @staticmethod
+    def _order(stat: BlockStat):
+        """Deterministic tie-break: object name, then block index."""
+        return (stat.object_name, stat.block)
+
+
+class StaticPinPlacement(PlacementPolicy):
+    """Pins only: blocks go where they are pinned and never move again.
+
+    This is the all-DRAM baseline (no pins → nothing ever promotes) and
+    the packet-buffer-ring case (whole object pinned fast at open time).
+    """
+
+    policy_name = "static"
+
+    def plan(self, view: PlacementView) -> List[TierMove]:
+        moves: List[TierMove] = []
+        free = view.fast_capacity - view.fast_used
+        for stat in sorted(view.blocks, key=self._order):
+            if not self._movable(stat) or stat.pin is None:
+                continue
+            if stat.pin == stat.tier:
+                continue
+            if stat.pin == TIER_FAST:
+                if free <= 0:
+                    continue
+                free -= 1
+                moves.append(
+                    TierMove(stat.object_name, stat.block, TIER_FAST, "pin")
+                )
+            else:
+                free += 1
+                moves.append(
+                    TierMove(stat.object_name, stat.block, TIER_DRAM, "pin")
+                )
+        return moves
+
+
+class AccessFrequencyPlacement(PlacementPolicy):
+    """Promote hot blocks, displace strictly-colder ones, with seeded
+    hysteresis.
+
+    A DRAM block becomes a promotion candidate once its per-tick access
+    count reaches ``promote_min`` plus a seeded per-block jitter of 0–2
+    (the same CRC construction :class:`PinningCachePolicy` uses for flow
+    thresholds), so ties across thousands of equally-warm blocks don't
+    promote in lockstep waves.  While the fast tier has free slots the
+    hottest candidates fill them; once full, a candidate only displaces
+    the coldest unpinned fast block if it is hotter by at least
+    ``hysteresis`` accesses — cold-for-one-tick blocks don't thrash.
+    """
+
+    policy_name = "frequency"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        metrics_scope: Optional[MetricScope] = None,
+        promote_min: int = 2,
+        hysteresis: int = 2,
+    ) -> None:
+        super().__init__(seed=seed, metrics_scope=metrics_scope)
+        if promote_min < 1:
+            raise ValueError(f"promote_min must be >= 1: {promote_min}")
+        if hysteresis < 0:
+            raise ValueError(f"hysteresis must be >= 0: {hysteresis}")
+        self.promote_min = promote_min
+        self.hysteresis = hysteresis
+
+    def block_threshold(self, stat: BlockStat) -> int:
+        """Seeded per-block promotion threshold (base + jitter 0..2)."""
+        return self.promote_min + self._seeded_jitter(stat.key(), 3)
+
+    def plan(self, view: PlacementView) -> List[TierMove]:
+        candidates = sorted(
+            (
+                s
+                for s in view.blocks
+                if s.tier == TIER_DRAM
+                and self._movable(s)
+                and s.pin != TIER_DRAM
+                and s.accesses >= self.block_threshold(s)
+            ),
+            key=lambda s: (-s.accesses,) + self._order(s),
+        )
+        # Coldest-first victims; pinned-fast blocks are never demoted.
+        victims = sorted(
+            (
+                s
+                for s in view.blocks
+                if s.tier == TIER_FAST
+                and self._movable(s)
+                and s.pin != TIER_FAST
+            ),
+            key=lambda s: (s.accesses,) + self._order(s),
+        )
+        moves: List[TierMove] = []
+        free = view.fast_capacity - view.fast_used
+        vi = 0
+        for cand in candidates:
+            if free > 0:
+                free -= 1
+                moves.append(
+                    TierMove(cand.object_name, cand.block, TIER_FAST, "promote")
+                )
+                continue
+            if vi >= len(victims):
+                break
+            victim = victims[vi]
+            if cand.accesses < victim.accesses + self.hysteresis:
+                break  # candidates are sorted; nothing hotter remains
+            vi += 1
+            moves.append(
+                TierMove(victim.object_name, victim.block, TIER_DRAM, "demote")
+            )
+            moves.append(
+                TierMove(cand.object_name, cand.block, TIER_FAST, "promote")
+            )
+        return moves
+
+
+class WatermarkPlacement(PlacementPolicy):
+    """Occupancy-watermark placement: promote eagerly, drain when full.
+
+    Any DRAM block touched at least ``promote_min`` times this tick is
+    promoted while fast occupancy stays below ``high`` × capacity.  When
+    occupancy crosses the high watermark, the coldest unpinned fast
+    blocks demote until occupancy falls to ``low`` × capacity — the
+    classic hysteresis loop that keeps headroom for the next burst.
+    """
+
+    policy_name = "watermark"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        metrics_scope: Optional[MetricScope] = None,
+        high: float = 0.9,
+        low: float = 0.6,
+        promote_min: int = 1,
+    ) -> None:
+        super().__init__(seed=seed, metrics_scope=metrics_scope)
+        if not 0.0 < low <= high <= 1.0:
+            raise ValueError(
+                f"need 0 < low <= high <= 1, got low={low} high={high}"
+            )
+        self.high = high
+        self.low = low
+        self.promote_min = max(1, promote_min)
+
+    def plan(self, view: PlacementView) -> List[TierMove]:
+        high_blocks = int(self.high * view.fast_capacity)
+        low_blocks = int(self.low * view.fast_capacity)
+        used = view.fast_used
+        moves: List[TierMove] = []
+        if used > high_blocks:
+            victims = sorted(
+                (
+                    s
+                    for s in view.blocks
+                    if s.tier == TIER_FAST
+                    and self._movable(s)
+                    and s.pin != TIER_FAST
+                ),
+                key=lambda s: (s.accesses,) + self._order(s),
+            )
+            for victim in victims:
+                if used <= low_blocks:
+                    break
+                used -= 1
+                moves.append(
+                    TierMove(victim.object_name, victim.block, TIER_DRAM, "spill")
+                )
+            return moves
+        candidates = sorted(
+            (
+                s
+                for s in view.blocks
+                if s.tier == TIER_DRAM
+                and self._movable(s)
+                and s.pin != TIER_DRAM
+                and s.accesses >= self.promote_min
+            ),
+            key=lambda s: (-s.accesses,) + self._order(s),
+        )
+        for cand in candidates:
+            if used >= high_blocks:
+                break
+            used += 1
+            moves.append(
+                TierMove(cand.object_name, cand.block, TIER_FAST, "promote")
+            )
+        return moves
+
+
+def make_placement_policy(
+    name: str,
+    seed: int = 0,
+    metrics_scope: Optional[MetricScope] = None,
+    **kwargs,
+) -> PlacementPolicy:
+    """Build the placement policy *name* (one of :data:`PLACEMENT_POLICIES`)."""
+    if name == "static":
+        return StaticPinPlacement(seed=seed, metrics_scope=metrics_scope)
+    if name == "frequency":
+        return AccessFrequencyPlacement(
+            seed=seed, metrics_scope=metrics_scope, **kwargs
+        )
+    if name == "watermark":
+        return WatermarkPlacement(
+            seed=seed, metrics_scope=metrics_scope, **kwargs
+        )
+    raise ValueError(
+        f"unknown placement policy {name!r}; expected one of "
+        f"{PLACEMENT_POLICIES}"
+    )

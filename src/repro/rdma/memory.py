@@ -17,6 +17,13 @@ from typing import Dict, Iterator, Optional
 
 from .constants import ATOMIC_OPERAND_BYTES
 
+#: Memory tiers a region can live in (DESIGN.md §13).  ``dram`` is the
+#: paper's flat external memory; ``fast`` models an RDCA-style cache tier
+#: on the same server (LLC / on-NIC SRAM) with its own service profile.
+TIER_DRAM = "dram"
+TIER_FAST = "fast"
+TIERS = (TIER_FAST, TIER_DRAM)
+
 
 class AccessFlags(enum.IntFlag):
     """Remote-access rights a memory region is registered with."""
@@ -103,12 +110,16 @@ class MemoryRegion:
         access: AccessFlags = AccessFlags.ALL_REMOTE,
         rkey: Optional[int] = None,
         page_size: int = 4096,
+        tier: str = TIER_DRAM,
     ) -> None:
         if base_address < 0:
             raise ValueError(f"base address must be non-negative: {base_address}")
+        if tier not in TIERS:
+            raise ValueError(f"unknown memory tier {tier!r}; expected {TIERS}")
         self.base_address = base_address
         self.length = length
         self.access = access
+        self.tier = tier
         self.rkey = next(_rkey_counter) if rkey is None else rkey
         self._buffer = SparseBuffer(length, page_size=page_size)
         self.valid = True
@@ -210,6 +221,7 @@ class Dram:
         length: int,
         access: AccessFlags = AccessFlags.ALL_REMOTE,
         page_size: int = 4096,
+        tier: str = TIER_DRAM,
     ) -> MemoryRegion:
         """Allocate and register a new region of *length* bytes."""
         if self.registered_bytes + length > self.capacity_bytes:
@@ -218,7 +230,7 @@ class Dram:
                 f"{self.registered_bytes}/{self.capacity_bytes} B already in use"
             )
         region = MemoryRegion(
-            self._next_base, length, access=access, page_size=page_size
+            self._next_base, length, access=access, page_size=page_size, tier=tier
         )
         # Keep VA spaces of successive regions disjoint and page-aligned.
         self._next_base += (length + page_size - 1) // page_size * page_size

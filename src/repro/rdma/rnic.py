@@ -92,6 +92,24 @@ class _RetxState:
 
 
 @dataclass
+class TierProfile:
+    """Per-tier service overrides for regions tagged with a memory tier.
+
+    The RDCA observation (PAPERS.md): serving the hot last mile from the
+    server's cache hierarchy instead of DRAM removes the PCIe/DRAM round
+    trip from READs and lets the atomic engine cycle much faster.  A
+    region registered with ``tier="fast"`` is served with this profile;
+    fields left ``None`` fall back to the NIC-wide :class:`RnicConfig`
+    values, so a profile can override latency without touching rates.
+    """
+
+    #: Replaces ``dma_read_latency_ns`` for READs against this tier.
+    read_latency_ns: Optional[float] = None
+    #: Replaces ``atomic_rate_ops`` for Fetch-and-Adds against this tier.
+    atomic_rate_ops: Optional[float] = None
+
+
+@dataclass
 class RnicConfig:
     """Timing and capacity parameters of the modelled RNIC."""
 
@@ -134,6 +152,10 @@ class RnicConfig:
     #: Timeout multiplier per retry round (RC's exponential backoff —
     #: keeps a blacked-out peer from being hammered at the base RTO).
     retransmit_backoff: float = 2.0
+    #: Per-tier service overrides, keyed by region tier name (``"fast"`` /
+    #: ``"dram"``).  ``None`` means every region is served with the
+    #: NIC-wide parameters above (the pre-tiering behaviour, bit-exact).
+    tier_profiles: Optional[Dict[str, TierProfile]] = None
 
 
 @dataclass
@@ -426,6 +448,24 @@ class Rnic:
             raise MemoryAccessError(f"unknown rkey {rkey:#x}")
         return region
 
+    def _read_latency_ns(self, region) -> float:
+        """The READ fetch latency for *region*'s tier (DESIGN.md §13)."""
+        profiles = self.config.tier_profiles
+        if profiles is not None:
+            profile = profiles.get(region.tier)
+            if profile is not None and profile.read_latency_ns is not None:
+                return profile.read_latency_ns
+        return self.config.dma_read_latency_ns
+
+    def _atomic_rate_ops(self, region) -> float:
+        """The Fetch-and-Add service rate for *region*'s tier."""
+        profiles = self.config.tier_profiles
+        if profiles is not None:
+            profile = profiles.get(region.tier)
+            if profile is not None and profile.atomic_rate_ops is not None:
+                return profile.atomic_rate_ops
+        return self.config.atomic_rate_ops
+
     def _execute_write(self, packet: Packet, bth: BthHeader, qp: QueuePair) -> None:
         reth = packet.require(RethHeader)
         region = self._region(reth.rkey)
@@ -452,7 +492,7 @@ class Rnic:
         finish = self._reserve_dma(
             len(data),
             self.config.dma_read_bandwidth_bps,
-            extra_ns=self.config.dma_read_latency_ns,
+            extra_ns=self._read_latency_ns(region),
         )
         self._release_buffer(packet, at_ns=finish)
         response = build_read_response(packet, qp, data)
@@ -479,7 +519,7 @@ class Rnic:
             cache.popitem(last=False)
         self._atomic_inflight += 1
         start = max(self.sim.now, self._atomic_free_at)
-        service_ns = 1e9 / self.config.atomic_rate_ops
+        service_ns = 1e9 / self._atomic_rate_ops(region)
         finish = start + service_ns
         self._atomic_free_at = finish
         self.sim.post(finish - self.sim.now, self._retire_atomic, packet)
@@ -505,7 +545,7 @@ class Rnic:
             finish = self._reserve_dma(
                 len(data),
                 self.config.dma_read_bandwidth_bps,
-                extra_ns=self.config.dma_read_latency_ns,
+                extra_ns=self._read_latency_ns(region),
             )
             self._send_response_at(finish, build_read_response(packet, qp, data), qp)
         elif opcode == Opcode.FETCH_ADD:

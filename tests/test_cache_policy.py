@@ -1,8 +1,8 @@
-"""Unit tests for the pluggable SRAM cache policies (repro.core.cache_policy)."""
+"""Unit tests for the pluggable SRAM cache policies (repro.policies.cache)."""
 
 import pytest
 
-from repro.core.cache_policy import (
+from repro.policies import (
     CACHE_POLICIES,
     FifoCachePolicy,
     LfuCachePolicy,
@@ -138,7 +138,7 @@ class TestMetrics:
 
         registry = MetricRegistry()
         scope = registry.scope("lookup.cache")
-        policy = make_cache_policy("lru", 2, scope=scope)
+        policy = make_cache_policy("lru", 2, metrics_scope=scope)
         policy.lookup(_flow(1))  # miss
         policy.admit(_flow(1), _action(1))
         policy.lookup(_flow(1))  # hit

@@ -238,8 +238,8 @@ class TestCuckooLayout:
             cache_entries=cache_entries,
             layout="cuckoo",
             hash_seed=seed,
-            cache_policy=cache_policy,
-            cache_seed=seed,
+            policy=cache_policy,
+            policy_seed=seed,
         )
         tb, program, table, channel = build(config=config)
         tb.controller.install_hash_seeds(table, seed)
@@ -344,7 +344,7 @@ class TestCachePolicyIntegration:
         table.install(flow, RemoteAction(ACTION_SET_DSCP, sport % 64))
 
     def test_unknown_cache_policy_rejected(self):
-        config = LookupTableConfig(entries=1 << 10, cache_policy="arc")
+        config = LookupTableConfig(entries=1 << 10, policy="arc")
         tb = build_testbed()
         channel = tb.controller.open_channel(
             tb.memory_server, tb.server_port, config.region_bytes
@@ -354,7 +354,7 @@ class TestCachePolicyIntegration:
 
     def test_lru_keeps_recently_touched_flow(self):
         config = LookupTableConfig(
-            entries=1 << 10, cache_entries=2, cache_policy="lru"
+            entries=1 << 10, cache_entries=2, policy="lru"
         )
         tb, program, table, channel = build(config=config)
         for sport in (100, 200):
@@ -372,7 +372,7 @@ class TestCachePolicyIntegration:
     def test_fifo_policy_matches_legacy_eviction(self):
         """The default policy reproduces the original FIFO behavior."""
         config = LookupTableConfig(
-            entries=1 << 10, cache_entries=2, cache_policy="fifo"
+            entries=1 << 10, cache_entries=2, policy="fifo"
         )
         tb, program, table, channel = build(config=config)
         for sport in (100, 200):

@@ -29,6 +29,7 @@ from repro.net.headers import UdpHeader
 from repro.obs import Observability, WireTrace
 from repro.obs.trace import KIND_BREAKER, KIND_RECONNECT
 from repro.rdma.constants import ATOMIC_OPERAND_BYTES
+from repro.policies import BreakerPolicy
 from repro.resilience import (
     BREAKER_CLOSED,
     BREAKER_HALF_OPEN,
@@ -238,8 +239,10 @@ def build_store_scenario(seed=42, fault_factory=None, packets=1000,
         tb.controller,
         channel,
         store,
-        config=quick_config(),
-        rng=SeedSequence(seed).stream("breaker"),
+        policy=BreakerPolicy(
+            config=quick_config(),
+            rng=SeedSequence(seed).stream("breaker"),
+        ),
     )
     if fault_factory is not None:
         plan = FaultPlan(seed=seed)
@@ -393,12 +396,63 @@ class TestTeardownUnsubscribes:
     def test_guard_goes_inert_after_teardown(self):
         tb, channel, store = self.build()
         guard = SelfHealingChannel(
-            tb.controller, channel, store, config=quick_config()
+            tb.controller, channel, store,
+            policy=BreakerPolicy(config=quick_config()),
         )
         tb.controller.close_channel(channel)
         guard.breaker.trip()  # must not degrade or reconnect anything
         assert not store._degraded
         assert guard.reconnects == 0
+
+
+class TestTierTagSurvivesReconnect:
+    """Regression: reconnect on a tiered pool must keep the fast tag.
+
+    A fast-tier region gets the fast RNIC service profile *through its
+    tier tag*.  Recovery paths that rebuilt region state used to come
+    back tier-less, silently downgrading the region to DRAM service
+    until the next full reopen — the channel's own tag is authoritative
+    and ``reconnect_channel`` must restamp it.
+    """
+
+    def build_fast_channel(self):
+        from repro.rdma.memory import TIER_FAST
+        from repro.sim.units import kib
+        from repro.tiering import TieredMemoryPool
+
+        tb = build_testbed(n_hosts=2, with_memory_server=True)
+        pool = TieredMemoryPool(
+            tb.controller, fast_capacity_bytes=kib(1), seed=1
+        )
+        pool.add_server(tb.memory_server, tb.server_port)
+        channel = pool.place_channel("ring", 512, tier=TIER_FAST)
+        return tb, pool, channel
+
+    def test_reconnect_restamps_region_tier_on_fresh_qps(self):
+        from repro.rdma.memory import TIER_FAST
+
+        tb, pool, channel = self.build_fast_channel()
+        assert channel.region.tier == TIER_FAST
+        old_qpn = channel.switch_qp.qpn
+        # The historical bug: a recovery path rebuilt region state without
+        # the tier tag.  Reconnect must restore it from the channel.
+        channel.region.tier = None
+        tb.controller.reconnect_channel(channel)
+        assert channel.switch_qp.qpn != old_qpn
+        assert channel.tier == TIER_FAST
+        assert channel.region.tier == TIER_FAST
+
+    def test_close_then_reopen_keeps_budget_and_retags_fresh_rkey(self):
+        from repro.rdma.memory import TIER_FAST
+        from repro.sim.units import kib
+
+        tb, pool, channel = self.build_fast_channel()
+        old_rkey = channel.region.rkey
+        tb.controller.close_channel(channel)
+        assert pool.fast_free_bytes == kib(1)  # pin released
+        again = pool.place_channel("ring2", 512, tier=TIER_FAST)
+        assert again.region.rkey != old_rkey
+        assert again.tier == TIER_FAST and again.region.tier == TIER_FAST
 
 
 # -- pool failover on retry exhaustion (satellite) -----------------------------

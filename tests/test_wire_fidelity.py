@@ -182,6 +182,88 @@ def test_lookup_bounce_traffic_identical_across_kernels():
     assert scalar_host.raw == batch_host.raw
 
 
+def _run_tiered_promotion_cycle(mode, seed=42):
+    """Drive a full promotion/demotion cycle on a tiered state store.
+
+    Phase 1 heats blocks 0 and 1 (fills the two-slot fast window); phase 2
+    heats blocks 2 and 3 while the residents idle, forcing the frequency
+    policy to demote the cold residents and promote the new hot set.
+    Bursts are separated by quiet gaps so in-flight ops quiesce — busy
+    blocks refuse to move by design.
+    """
+    from repro.obs import Observability, WireTrace
+    from repro.obs.trace import KIND_TIER_MOVE
+    from repro.tiering import TieredMemoryPool
+
+    _reset_global_id_counters()
+    obs = Observability(trace=WireTrace())
+    with kernel_mode(mode), obs.activate():
+        tb = build_testbed(n_hosts=2)
+        program = CountingProgram()
+        for host, port in zip(tb.hosts, tb.host_ports):
+            program.install(host.eth.mac, port)
+        tb.switch.bind_program(program)
+        pool = TieredMemoryPool(
+            tb.controller,
+            policy="frequency",
+            policy_seed=seed,
+            fast_capacity_bytes=512,
+            tick_ns=10_000.0,
+            seed=seed,
+        )
+        member = pool.add_server(tb.memory_server, tb.server_port)
+        geometry = pool.tier_object(
+            "counters", 8, 256, units_per_block=16,
+            member=member, fast_blocks=2,
+        )
+        store = RemoteStateStore(
+            tb.switch,
+            config=StateStoreConfig(counters=256, reliable=True),
+            tiering=geometry,
+        )
+        program.use_state_store(store)
+        checker = WireChecker(tb.server_link)
+
+        def burst(t0, index, count, gap_ns=400.0):
+            for i in range(count):
+                tb.sim.schedule(t0 + i * gap_ns, store.update, index, 1)
+
+        for round_ in range(3):
+            t0 = round_ * 18_000.0
+            burst(t0, 0, 8)  # block 0
+            burst(t0 + 4_000.0, 16, 8)  # block 1
+        for round_ in range(3):
+            t0 = 60_000.0 + round_ * 18_000.0
+            burst(t0, 32, 10)  # block 2
+            burst(t0 + 4_500.0, 48, 10)  # block 3
+        tb.sim.run()
+    moves = [
+        (event.t_ns, event.psn, event.channel)
+        for event in obs.trace.events
+        if event.kind == KIND_TIER_MOVE
+    ]
+    return checker, moves
+
+
+@pytest.mark.parametrize("mode", ["scalar", "batch"])
+def test_tiered_promotion_cycle_is_byte_faithful(mode):
+    checker, moves = _run_tiered_promotion_cycle(mode)
+    assert checker.roce_checked > 0
+    reasons = {channel for (_, _, channel) in moves}
+    assert "counters:promote" in reasons
+    assert "counters:demote" in reasons
+
+
+def test_tiered_promotion_cycle_identical_across_kernels():
+    """Fixed seed 42: the wire bytes AND the TIER_MOVE event stream of a
+    promotion/demotion cycle must match between kernels exactly."""
+    scalar_checker, scalar_moves = _run_tiered_promotion_cycle("scalar")
+    batch_checker, batch_moves = _run_tiered_promotion_cycle("batch")
+    assert scalar_checker.raw == batch_checker.raw
+    assert scalar_moves == batch_moves
+    assert scalar_moves, "no tier moves happened — the cycle never ran"
+
+
 class TestGrh:
     def test_round_trip(self):
         from repro.net.addresses import Ipv4Address
