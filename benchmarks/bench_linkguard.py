@@ -1,0 +1,145 @@
+"""Link-protection benchmark: the §14 acceptance bar, held by a record.
+
+Regenerates the linkguard subsystem's headline claim (DESIGN.md §14,
+docs/RESILIENCE.md): over a server link corrupting one frame in a
+thousand — both directions — a full-ordered :class:`LinkGuard` keeps
+the goodput of the packet-buffer and lookup primitives within 5 % of
+the lossless baseline with **zero lost updates**, while transport-only
+recovery (guard off, or breaker-only — the breaker never opens on
+scattered corruption) is measurably worse.
+
+Run directly (``python benchmarks/bench_linkguard.py``) this module
+writes the machine-readable ``BENCH_linkguard.json`` perf record the
+repo commits; under pytest-benchmark it asserts the same bounds.
+"""
+
+import argparse
+import os
+import sys
+
+from repro.analysis.profiling import compare_records, load_report, write_report
+from repro.experiments.linkguard import (
+    CORRUPT_RATE,
+    LINKGUARD_SEED,
+    assert_linkguard,
+    format_linkguard,
+    linkguard_perf_record,
+    run_linkguard_sweep,
+)
+
+
+def test_linkguard_goodput_and_zero_loss(benchmark, paper_report):
+    rows = benchmark.pedantic(
+        run_linkguard_sweep,
+        kwargs={"packets": 1000},
+        rounds=1,
+        iterations=1,
+    )
+    paper_report(format_linkguard(rows))
+    benchmark.extra_info["lost"] = {
+        f"{row.workload}[{row.variant}]": row.lost for row in rows
+    }
+    assert_linkguard(rows)
+
+
+def test_linkguard_sweep_is_deterministic(benchmark, paper_report):
+    kwargs = {"packets": 600, "workloads": ("lookup",)}
+    rows = benchmark.pedantic(
+        run_linkguard_sweep, kwargs=kwargs, rounds=1, iterations=1
+    )
+    paper_report(format_linkguard(rows))
+    replay = run_linkguard_sweep(**kwargs)
+    assert [r.__dict__ for r in rows] == [r.__dict__ for r in replay]
+
+
+# -- standalone perf-record harness -----------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Benchmark the link-protection sweep; emit a JSON perf record."
+        )
+    )
+    parser.add_argument(
+        "--output", default="BENCH_linkguard.json", help="perf record path"
+    )
+    parser.add_argument(
+        "--baseline",
+        default="",
+        help="baseline record to compute speedups against ('' to skip)",
+    )
+    parser.add_argument(
+        "--label", default="bench_linkguard", help="label stored in the record"
+    )
+    parser.add_argument(
+        "--packets", type=int, default=1500, help="packets per sweep point"
+    )
+    parser.add_argument(
+        "--corrupt-rate",
+        type=float,
+        default=CORRUPT_RATE,
+        help="per-frame corruption probability on the server link",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=LINKGUARD_SEED, help="FaultPlan seed"
+    )
+    parser.add_argument("--quick", action="store_true", help="reduced scales")
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the run's metric registry to PATH (repro-metrics/v1 JSON)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record the wire timeline (GUARD events included) to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import Observability, WireTrace
+
+    obs = Observability(trace=WireTrace() if args.trace else None)
+    with obs.activate():
+        rows = run_linkguard_sweep(
+            packets=800 if args.quick else args.packets,
+            corrupt_rate=args.corrupt_rate,
+            seed=args.seed,
+        )
+    assert_linkguard(rows)
+    report = linkguard_perf_record(rows, label=args.label)
+    if args.baseline and os.path.exists(args.baseline):
+        baseline = load_report(args.baseline)
+        report["baseline_label"] = baseline.get("label")
+        report["speedup"] = compare_records(report, baseline)
+    write_report(args.output, report)
+
+    print(format_linkguard(rows))
+    by = {(r.workload, r.variant): r for r in rows}
+    on = by[("pktbuf", "guard-on")]
+    off = by[("pktbuf", "guard-off")]
+    base = by[("pktbuf", "lossless")]
+    print(
+        f"\npktbuf drain: guard-on {on.goodput_per_ms:,.0f} pkt/ms "
+        f"({on.goodput_per_ms / base.goodput_per_ms:.1%} of lossless) vs "
+        f"guard-off {off.goodput_per_ms:,.0f} pkt/ms "
+        f"({off.goodput_per_ms / base.goodput_per_ms:.1%}); "
+        f"lookup guard-off lost {by[('lookup', 'guard-off')].lost}, "
+        f"guard-on lost {by[('lookup', 'guard-on')].lost}; seed={args.seed}"
+    )
+    print(f"wrote {args.output}")
+    if args.metrics:
+        from repro.analysis.reporting import write_metrics_json
+
+        write_metrics_json(args.metrics, obs.registry, label=args.label)
+        print(f"wrote {args.metrics} ({len(obs.registry)} metrics)")
+    if args.trace:
+        obs.trace.write_jsonl(args.trace)
+        print(f"wrote {args.trace} ({len(obs.trace)} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -177,6 +177,16 @@ from .resilience import (
     SelfHealingChannel,
 )
 
+# -- link-local loss protection (DESIGN.md §14) ------------------------------
+from .linkguard import (
+    ETHERTYPE_LINKGUARD,
+    PROTECTION_LEVELS,
+    GuardShimHeader,
+    LinkGuard,
+    LinkGuardConfig,
+    guard_checksum,
+)
+
 # -- cluster scale-out ------------------------------------------------------
 from .cluster.pool import MemoryPool, PoolMember
 from .cluster.health import HealthMonitor
@@ -319,6 +329,13 @@ __all__ = [
     "CircuitBreaker",
     "CircuitBreakerConfig",
     "SelfHealingChannel",
+    # link-local loss protection
+    "ETHERTYPE_LINKGUARD",
+    "PROTECTION_LEVELS",
+    "GuardShimHeader",
+    "LinkGuard",
+    "LinkGuardConfig",
+    "guard_checksum",
     # cluster
     "MemoryPool",
     "PoolMember",

@@ -29,6 +29,11 @@ from .experiments.fig3a import format_fig3a, run_fig3a
 from .experiments.fig3b import format_fig3b, run_fig3b
 from .experiments.incast import format_incast, run_incast_comparison
 from .experiments.kv_cache import format_kv_cache, run_kv_cache_comparison
+from .experiments.linkguard import (
+    assert_linkguard,
+    format_linkguard,
+    run_linkguard_sweep,
+)
 from .experiments.lookup_scale import (
     format_lookup_scaleout,
     format_policy_curve,
@@ -160,6 +165,17 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
             reliable=not args.unreliable,
         )
     )
+
+
+def _cmd_linkguard(args: argparse.Namespace) -> str:
+    rows = run_linkguard_sweep(
+        packets=args.packets,
+        corrupt_rate=args.corrupt_rate,
+        seed=args.seed,
+    )
+    if args.check:
+        assert_linkguard(rows)
+    return format_linkguard(rows)
 
 
 def _cmd_kv_cache(args: argparse.Namespace) -> str:
@@ -380,6 +396,33 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "linkguard",
+        help=(
+            "link protection: goodput of the lookup and packet-buffer "
+            "primitives over a corrupting link, guard off/on/breaker-only"
+        ),
+    )
+    p.add_argument("--packets", type=int, default=1500)
+    p.add_argument(
+        "--corrupt-rate",
+        type=float,
+        default=1e-3,
+        help="per-frame corruption probability on the server link",
+    )
+    p.add_argument(
+        "--seed", type=int, default=42, help="FaultPlan seed (replayable)"
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "assert the acceptance bar: guard-on within 5%% of lossless, "
+            "guard-off measurably worse, zero lost updates, breaker blind"
+        ),
+    )
+    p.set_defaults(fn=_cmd_linkguard)
 
     p = sub.add_parser("ablations", help="§7 design-choice ablations")
     p.add_argument(

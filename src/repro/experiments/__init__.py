@@ -14,6 +14,7 @@ One module per result:
 * :mod:`.ablations`          — §7 design-choice ablations
 * :mod:`.scaleout`           — cluster sharding / failover studies
 * :mod:`.chaos`              — lossy-link soak (fault injection + recovery)
+* :mod:`.linkguard`          — link protection: guard vs breaker goodput (§14)
 * :mod:`.lookup_scale`       — EMOMA-scale cuckoo/cache/Zipf lookup study
 * :mod:`.tiering`            — tiered-memory placement-policy study (§13)
 
@@ -46,6 +47,13 @@ from .chaos import (
 from .fig3a import format_fig3a, run_fig3a
 from .fig3b import format_fig3b, run_fig3b
 from .incast import format_incast, run_incast, run_incast_comparison
+from .linkguard import (
+    assert_linkguard,
+    format_linkguard,
+    linkguard_perf_record,
+    run_linkguard_point,
+    run_linkguard_sweep,
+)
 from .kv_cache import format_kv_cache, run_kv_cache, run_kv_cache_comparison
 from .overhead import format_overhead, run_overhead
 from .packet_buffer_rate import (
@@ -71,6 +79,7 @@ from .topology import Testbed, build_testbed
 
 __all__ = [
     "Testbed",
+    "assert_linkguard",
     "build_testbed",
     "chaos_perf_record",
     "format_baremetal",
@@ -83,6 +92,8 @@ __all__ = [
     "format_fig3b",
     "format_incast",
     "format_kv_cache",
+    "format_linkguard",
+    "linkguard_perf_record",
     "format_mode",
     "format_overhead",
     "format_packet_buffer_rate",
@@ -106,6 +117,8 @@ __all__ = [
     "run_incast_comparison",
     "run_kv_cache",
     "run_kv_cache_comparison",
+    "run_linkguard_point",
+    "run_linkguard_sweep",
     "run_mode_ablation",
     "run_overhead",
     "run_priority_ablation",

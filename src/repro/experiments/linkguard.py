@@ -1,0 +1,525 @@
+"""Link-protection sweep: goodput over a corrupting link, guard vs breaker.
+
+The LinkGuardian paper's `effective_lossRate_linkSpeed` experiment asks
+one question of a corrupting link: how much goodput survives at a given
+loss rate, with and without link-local protection?  This harness ports
+that question onto the repo's two streaming primitives and its two
+resilience mechanisms, at a fixed 10⁻³ per-frame corruption rate:
+
+* ``lossless``     — clean link, no protection: the baseline.
+* ``guard-off``    — corruption, transport go-back-N only (DESIGN.md
+  §10): every corrupted frame is an ICRC drop that costs a NAK replay
+  or a watchdog timeout — and, for the lookup table's bounced packets,
+  is simply *lost* (the bounce has no end-to-end retry).
+* ``breaker-only`` — corruption plus a :class:`SelfHealingChannel`
+  (§11).  The decision-surface datum: scattered corruption never trips
+  a breaker (strikes are not consecutive), so it behaves like
+  ``guard-off`` — the breaker is the wrong tool for this failure.
+* ``guard-on``     — corruption plus a full-ordered
+  :class:`~repro.linkguard.LinkGuard` (§14): the guard detects the
+  corrupt frame *at the link*, NAKs immediately, and resends from its
+  emergency buffer within a link RTT.  The transport never notices.
+
+Two workloads, both on the switch↔memory-server link:
+
+* ``lookup`` — the §4 bounce-mode lookup table with its SRAM cache
+  disabled, so every packet crosses the bad link twice in each
+  direction; goodput is packets delivered to the destination host.
+* ``pktbuf`` — the remote packet-buffer ring: a burst is stored over a
+  clean link, the link then starts corrupting, and the drain must
+  deliver every stranded entry; goodput is drained packets per ms of
+  drain time (self-clocked, so recovery stalls show up directly).
+
+Everything runs under :func:`~repro.rdma.packets.integrity_protected`
+(ICRC verified end to end) and one seed: rows reproduce byte-for-byte
+from ``(seed, variant, workload)``, and the committed
+``benchmarks/BENCH_linkguard.json`` is regenerated, not re-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..analysis.reporting import format_table
+from ..apps.programs import RemoteBufferProgram, RemoteLookupProgram
+from ..core.lookup_table import (
+    ACTION_SET_DSCP,
+    LookupTableConfig,
+    RemoteAction,
+    RemoteLookupTable,
+)
+from ..core.packet_buffer import (
+    ENTRY_SEQ_BYTES,
+    PacketBufferConfig,
+    RemotePacketBuffer,
+)
+from ..faults import Corrupt, FaultPlan
+from ..linkguard import LinkGuard
+from ..obs import Observability
+from ..policies import BreakerPolicy
+from ..rdma.packets import integrity_protected
+from ..resilience import CircuitBreakerConfig, SelfHealingChannel
+from ..sim.rng import SeedSequence
+from ..sim.units import gbps, usec
+from ..switches.hashing import FiveTuple
+from ..workloads.perftest import PacketSink, RawEthernetBw
+from .topology import build_testbed
+
+#: Root seed: one number pins every variant's timeline.
+LINKGUARD_SEED = 42
+
+#: The swept per-frame corruption probability (both link directions).
+CORRUPT_RATE = 1e-3
+
+#: Protection variants, weakest first.
+VARIANTS = ("lossless", "guard-off", "breaker-only", "guard-on")
+
+#: The two streaming primitives the sweep measures.
+WORKLOADS = ("lookup", "pktbuf")
+
+_DST_PORT = 20_000
+
+
+@dataclass
+class LinkGuardRow:
+    """One (variant, workload) point of the link-protection sweep."""
+
+    variant: str
+    workload: str
+    seed: int
+    corrupt_rate: float
+    packets_sent: int
+    delivered: int
+    out_of_order: int
+    #: Frames the fault injector corrupted on the wire.
+    corrupted_frames: int
+    #: Transport-level recovery the variant paid (go-back-N NAK replays
+    #: plus watchdog timeouts) — zero when the guard masks below it.
+    transport_naks: int
+    transport_timeouts: int
+    #: Losses the guard repaired before the transport could see them.
+    masked_losses: int
+    guard_resent: int
+    shim_bytes: int
+    breaker_opens: int
+    #: The measurement window: total run for ``lookup``, the drain phase
+    #: for ``pktbuf`` (its store phase is identical across variants).
+    duration_ms: float
+
+    @property
+    def lost(self) -> int:
+        return self.packets_sent - self.delivered
+
+    @property
+    def goodput_per_ms(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.delivered / self.duration_ms
+
+
+def _breaker_config() -> CircuitBreakerConfig:
+    """Same pacing the chaos recovery scenario tunes for 50 µs watchdogs."""
+    return CircuitBreakerConfig(
+        fail_threshold=3,
+        close_threshold=1,
+        open_timeout_ns=usec(100),
+        probe_timeout_ns=usec(60),
+        probe_jitter_ns=usec(10),
+        backoff=2.0,
+    )
+
+
+def _protect(variant: str, tb, channel, primitive, seeds: SeedSequence):
+    """Install the variant's protection; returns ``(guard, healer)``."""
+    guard = healer = None
+    if variant == "guard-on":
+        guard = LinkGuard(tb.server_link)
+    elif variant == "breaker-only":
+        healer = SelfHealingChannel(
+            tb.controller,
+            channel,
+            primitive,
+            policy=BreakerPolicy(
+                config=_breaker_config(),
+                rng=seeds.stream(f"breaker[{variant}]"),
+            ),
+        )
+    return guard, healer
+
+
+def _corrupt(variant: str, tb, at_ns: float, rate: float, seed: int):
+    """Arm symmetric corruption on the server link (except ``lossless``)."""
+    if variant == "lossless" or rate <= 0.0:
+        return None
+    plan = FaultPlan(seed=seed)
+    wire = plan.on_link(tb.server_link, name="server-link")
+    plan.at(at_ns, wire, Corrupt(rate))
+    plan.install(tb.sim)
+    return wire
+
+
+def run_linkguard_point(
+    variant: str,
+    workload: str,
+    packets: int = 1500,
+    corrupt_rate: float = CORRUPT_RATE,
+    seed: int = LINKGUARD_SEED,
+) -> LinkGuardRow:
+    """One protection variant driving one primitive over the bad link."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected {VARIANTS}")
+    if workload == "lookup":
+        return _run_lookup(variant, packets, corrupt_rate, seed)
+    if workload == "pktbuf":
+        return _run_pktbuf(variant, packets, corrupt_rate, seed)
+    raise ValueError(f"unknown workload {workload!r}; expected {WORKLOADS}")
+
+
+def _row(
+    variant, workload, seed, corrupt_rate, sent, sink, wire, guard, healer,
+    transport_naks, transport_timeouts, duration_ms,
+) -> LinkGuardRow:
+    # Read effect totals off the injector/guard objects, not a registry
+    # snapshot: under a shared registry a later variant's scope is
+    # renamed ("...#2") and a name-based snapshot reads the wrong run.
+    counts = guard.counts if guard is not None else {}
+    return LinkGuardRow(
+        variant=variant,
+        workload=workload,
+        seed=seed,
+        corrupt_rate=corrupt_rate,
+        packets_sent=sent,
+        delivered=sink.packets,
+        out_of_order=sink.out_of_order,
+        corrupted_frames=(
+            wire.effects.get("corrupted", 0) if wire is not None else 0
+        ),
+        transport_naks=transport_naks,
+        transport_timeouts=transport_timeouts,
+        masked_losses=counts.get("masked_losses", 0),
+        guard_resent=counts.get("resent", 0),
+        shim_bytes=counts.get("shim_bytes", 0),
+        breaker_opens=healer.breaker.opens if healer is not None else 0,
+        duration_ms=duration_ms,
+    )
+
+
+def _run_lookup(
+    variant: str, packets: int, corrupt_rate: float, seed: int
+) -> LinkGuardRow:
+    """Bounce-mode lookups with the cache off: four bad-link crossings
+    per packet, and a deposited packet a transport retry cannot recover."""
+    seeds = SeedSequence(seed)
+    with integrity_protected():
+        tb = build_testbed(n_hosts=2, with_memory_server=True)
+        program = RemoteLookupProgram()
+        for host, port in zip(tb.hosts, tb.host_ports):
+            program.install(host.eth.mac, port)
+        tb.switch.bind_program(program)
+        config = LookupTableConfig(entries=1 << 10, cache_entries=0)
+        channel = tb.controller.open_channel(
+            tb.memory_server,
+            tb.server_port,
+            config.entries * config.entry_bytes,
+        )
+        table = RemoteLookupTable(tb.switch, channel, config=config)
+        program.use_lookup_table(table)
+        flow = FiveTuple(
+            src_ip=tb.hosts[0].eth.ip.value,
+            dst_ip=tb.hosts[1].eth.ip.value,
+            protocol=17,
+            src_port=10_000,
+            dst_port=_DST_PORT,
+        )
+        table.install(flow, RemoteAction(ACTION_SET_DSCP, 9))
+
+        guard, healer = _protect(variant, tb, channel, table, seeds)
+        wire = _corrupt(variant, tb, 0.0, corrupt_rate, seed)
+        sink = PacketSink(tb.hosts[1], dst_port=_DST_PORT)
+        gen = RawEthernetBw(
+            tb.sim,
+            tb.hosts[0],
+            tb.hosts[1],
+            packet_size=512,
+            rate_bps=gbps(5),
+            count=packets,
+            dst_port=_DST_PORT,
+        )
+        gen.start()
+        tb.sim.run()
+        stats = table.rocegen.stats
+        return _row(
+            variant, "lookup", seed, corrupt_rate, packets, sink, wire,
+            guard, healer, stats.naks_received, stats.timeouts,
+            tb.sim.now / 1e6,
+        )
+
+
+def _run_pktbuf(
+    variant: str, packets: int, corrupt_rate: float, seed: int
+) -> LinkGuardRow:
+    """Store a burst cleanly, then drain it while the link corrupts.
+
+    The drain is self-clocked (chained READs, bounded outstanding), so
+    every recovery stall — a 50 µs read watchdog versus a µs-scale guard
+    resend — lands directly in the drain time.
+    """
+    seeds = SeedSequence(seed)
+    with integrity_protected():
+        tb = build_testbed(n_hosts=2, with_memory_server=True)
+        program = RemoteBufferProgram()
+        for host, port in zip(tb.hosts, tb.host_ports):
+            program.install(host.eth.mac, port)
+        tb.switch.bind_program(program)
+        frame_bytes = 128
+        entry_bytes = frame_bytes + ENTRY_SEQ_BYTES
+        channel = tb.controller.open_channel(
+            tb.memory_server, tb.server_port, (packets + 16) * entry_bytes
+        )
+        primitive = RemotePacketBuffer(
+            tb.switch,
+            channel,
+            protected_port=tb.host_ports[1],
+            config=PacketBufferConfig(
+                entry_bytes=entry_bytes,
+                high_watermark_bytes=0,  # store the whole burst
+                low_watermark_bytes=1 << 30,
+                manual_load=True,
+                max_outstanding_reads=4,
+                read_timeout_ns=usec(50),
+            ),
+        )
+        program.use_packet_buffer(primitive)
+
+        guard, healer = _protect(variant, tb, channel, primitive, seeds)
+        sink = PacketSink(tb.hosts[1], dst_port=_DST_PORT)
+        gen = RawEthernetBw(
+            tb.sim,
+            tb.hosts[0],
+            tb.hosts[1],
+            packet_size=frame_bytes,
+            rate_bps=gbps(1),
+            count=packets,
+            dst_port=_DST_PORT,
+        )
+        gen.start()
+        tb.sim.run()  # store phase: the burst lands in the remote ring
+        stored = primitive.stats.stored_packets
+
+        wire = _corrupt(variant, tb, tb.sim.now, corrupt_rate, seed)
+        drain_start = tb.sim.now
+        primitive.start_draining()
+        tb.sim.run()
+        # The drain's recovery cost lives in two places: NAK replays on
+        # the READ requesters and the primitive's own go-back-N watchdog.
+        gens = {id(g): g for g in (*primitive.rocegens, *primitive.read_rocegens)}
+        naks = sum(g.stats.naks_received for g in gens.values())
+        timeouts = (
+            sum(g.stats.timeouts for g in gens.values())
+            + primitive.stats.read_recoveries
+        )
+        return _row(
+            variant, "pktbuf", seed, corrupt_rate, stored, sink, wire,
+            guard, healer, naks, timeouts,
+            (tb.sim.now - drain_start) / 1e6,
+        )
+
+
+def run_linkguard_sweep(
+    packets: int = 1500,
+    corrupt_rate: float = CORRUPT_RATE,
+    seed: int = LINKGUARD_SEED,
+    variants: Sequence[str] = VARIANTS,
+    workloads: Sequence[str] = WORKLOADS,
+) -> List[LinkGuardRow]:
+    """The full grid: every workload under every protection variant."""
+    rows = [
+        run_linkguard_point(
+            variant, workload,
+            packets=packets, corrupt_rate=corrupt_rate, seed=seed,
+        )
+        for workload in workloads
+        for variant in variants
+    ]
+    publish_linkguard_metrics(Observability.adopt().registry, rows)
+    return rows
+
+
+def format_linkguard(rows: Sequence[LinkGuardRow]) -> str:
+    base: Dict[str, float] = {
+        r.workload: r.goodput_per_ms for r in rows if r.variant == "lossless"
+    }
+    return format_table(
+        [
+            "workload",
+            "variant",
+            "sent",
+            "delivered",
+            "lost",
+            "ooo",
+            "corrupted",
+            "naks",
+            "timeouts",
+            "masked",
+            "time (ms)",
+            "goodput (pkt/ms)",
+            "vs lossless",
+        ],
+        [
+            [
+                r.workload,
+                r.variant,
+                r.packets_sent,
+                r.delivered,
+                r.lost,
+                r.out_of_order,
+                r.corrupted_frames,
+                r.transport_naks,
+                r.transport_timeouts,
+                r.masked_losses,
+                f"{r.duration_ms:.3f}",
+                f"{r.goodput_per_ms:,.0f}",
+                f"{r.goodput_per_ms / base[r.workload]:.1%}"
+                if base.get(r.workload, 0) > 0
+                else "-",
+            ]
+            for r in rows
+        ],
+        title=(
+            "Link protection — goodput over a "
+            f"{rows[0].corrupt_rate:g}-corrupting link "
+            f"(seed={rows[0].seed if rows else '-'})"
+        ),
+    )
+
+
+def linkguard_perf_record(
+    rows: Sequence[LinkGuardRow], label: str = "linkguard"
+):
+    """The sweep in ``repro-perf-record/v1`` shape (committed as BENCH)."""
+    from ..analysis.profiling import PerfRecord, make_report
+
+    records: Dict[str, PerfRecord] = {}
+    base: Dict[str, float] = {
+        r.workload: r.goodput_per_ms for r in rows if r.variant == "lossless"
+    }
+    for row in rows:
+        record = PerfRecord(
+            label=f"{row.workload}[{row.variant}]",
+            wall_s=row.duration_ms / 1e3,
+            events=row.packets_sent,
+        )
+        record.extra.update(
+            {
+                "seed": row.seed,
+                "variant": row.variant,
+                "workload": row.workload,
+                "corrupt_rate": row.corrupt_rate,
+                "packets_sent": row.packets_sent,
+                "delivered": row.delivered,
+                "lost": row.lost,
+                "out_of_order": row.out_of_order,
+                "corrupted_frames": row.corrupted_frames,
+                "transport_naks": row.transport_naks,
+                "transport_timeouts": row.transport_timeouts,
+                "masked_losses": row.masked_losses,
+                "guard_resent": row.guard_resent,
+                "shim_bytes": row.shim_bytes,
+                "breaker_opens": row.breaker_opens,
+                "goodput_per_ms": row.goodput_per_ms,
+                "goodput_vs_lossless": (
+                    row.goodput_per_ms / base[row.workload]
+                    if base.get(row.workload, 0) > 0
+                    else None
+                ),
+            }
+        )
+        records[record.label] = record
+    return make_report(label, records)
+
+
+def publish_linkguard_metrics(registry, rows: Sequence[LinkGuardRow]) -> None:
+    """Surface the acceptance numbers under ``linkguard.sweep`` so a CI
+    metrics artifact can assert on them without re-parsing stdout."""
+    scope = registry.unique_scope("linkguard.sweep")
+    for row in rows:
+        child = scope.child(f"{row.workload}[{row.variant}]")
+        child.counter("delivered").inc(row.delivered)
+        child.counter("lost").inc(row.lost)
+        child.counter("masked_losses").inc(row.masked_losses)
+        child.gauge("goodput_per_ms").set(row.goodput_per_ms)
+
+
+def assert_linkguard(rows: Sequence[LinkGuardRow]) -> None:
+    """The acceptance bar for the link-protection sweep.
+
+    * ``pktbuf``: zero lost updates and zero reordering in *every*
+      variant (the ring's watchdog always recovers — at a price).
+    * ``guard-on``: goodput within 5 % of lossless on both workloads,
+      zero lost anywhere, and losses actually masked.
+    * ``guard-off``: measurably worse — the pktbuf drain loses ≥ 5 % of
+      its goodput to transport timeouts, and the lookup bounce loses
+      packets outright.
+    * ``breaker-only``: the breaker never opens — scattered corruption
+      is invisible to it, which is exactly why the guard exists.
+    """
+    by = {(r.workload, r.variant): r for r in rows}
+
+    def need(workload, variant):
+        row = by.get((workload, variant))
+        if row is None:
+            raise AssertionError(f"missing row {workload}[{variant}]")
+        return row
+
+    for workload in WORKLOADS:
+        lossless = need(workload, "lossless")
+        if lossless.lost != 0:
+            raise AssertionError(f"{workload}: lossless baseline lost packets")
+        guard_on = need(workload, "guard-on")
+        if guard_on.lost != 0 or guard_on.out_of_order != 0:
+            raise AssertionError(
+                f"{workload}[guard-on]: lost {guard_on.lost}, "
+                f"ooo {guard_on.out_of_order}"
+            )
+        if guard_on.goodput_per_ms < 0.95 * lossless.goodput_per_ms:
+            raise AssertionError(
+                f"{workload}[guard-on]: goodput {guard_on.goodput_per_ms:.0f} "
+                f"< 95% of lossless {lossless.goodput_per_ms:.0f}"
+            )
+        if guard_on.masked_losses == 0:
+            raise AssertionError(
+                f"{workload}[guard-on]: nothing masked — corruption never hit"
+            )
+        if guard_on.transport_naks != 0 or guard_on.transport_timeouts != 0:
+            raise AssertionError(
+                f"{workload}[guard-on]: transport saw the loss "
+                f"(naks={guard_on.transport_naks}, "
+                f"timeouts={guard_on.transport_timeouts})"
+            )
+    for variant in VARIANTS:
+        pktbuf = need("pktbuf", variant)
+        if pktbuf.lost != 0 or pktbuf.out_of_order != 0:
+            raise AssertionError(
+                f"pktbuf[{variant}]: lost {pktbuf.lost} updates, "
+                f"ooo {pktbuf.out_of_order}"
+            )
+    off = need("pktbuf", "guard-off")
+    lossless = need("pktbuf", "lossless")
+    if off.goodput_per_ms >= 0.95 * lossless.goodput_per_ms:
+        raise AssertionError(
+            "pktbuf[guard-off]: transport-only recovery should be "
+            f"measurably worse ({off.goodput_per_ms:.0f} vs lossless "
+            f"{lossless.goodput_per_ms:.0f})"
+        )
+    if need("lookup", "guard-off").lost == 0:
+        raise AssertionError(
+            "lookup[guard-off]: expected bounced packets lost to corruption"
+        )
+    for workload in WORKLOADS:
+        breaker = need(workload, "breaker-only")
+        if breaker.breaker_opens != 0:
+            raise AssertionError(
+                f"{workload}[breaker-only]: breaker opened on scattered "
+                "corruption — it should be blind to this failure mode"
+            )

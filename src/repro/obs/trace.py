@@ -50,6 +50,11 @@ KIND_RECONNECT = "RECONNECT"
 #: carries ``"<object>:<direction>"`` (e.g. ``"counters:promote"``),
 #: ``psn`` the block index, and ``wire_bytes`` the block size copied.
 KIND_TIER_MOVE = "TIER_MOVE"
+#: A link-guard protocol action (DESIGN.md §14); ``node`` is
+#: ``"guard:<link>:<direction>"``, ``psn`` the guard sequence number,
+#: and ``channel`` the action (``"nak"``, ``"resend"``, ``"masked"``,
+#: ``"corrupt_dropped"``, ``"tail_timeout"``, ``"resync"``, ...).
+KIND_GUARD = "GUARD"
 
 
 @dataclass

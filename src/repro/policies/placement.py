@@ -27,9 +27,10 @@ Invariants every policy must keep (checked by the pool): never move a
 
 from __future__ import annotations
 
+import math
 import struct
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..obs.registry import MetricScope
 from ..rdma.memory import TIER_DRAM, TIER_FAST
@@ -218,6 +219,11 @@ class WatermarkPlacement(PlacementPolicy):
     occupancy crosses the high watermark, the coldest unpinned fast
     blocks demote until occupancy falls to ``low`` × capacity — the
     classic hysteresis loop that keeps headroom for the next burst.
+
+    Watermarks are converted to whole blocks with *ceil* semantics (see
+    :meth:`watermarks`): ``high=0.9`` of a 3-slot window means 3 usable
+    slots, not the 2 that truncation used to yield — small fast windows
+    were silently losing a third of their budget to rounding.
     """
 
     policy_name = "watermark"
@@ -239,9 +245,26 @@ class WatermarkPlacement(PlacementPolicy):
         self.low = low
         self.promote_min = max(1, promote_min)
 
+    @staticmethod
+    def _blocks_ceil(fraction: float, capacity: int) -> int:
+        # Ceil with a tolerance for binary-float artifacts: 0.9 * 10 is
+        # 9.000000000000002 in IEEE doubles and must round to 9, not 10.
+        return min(capacity, math.ceil(fraction * capacity - 1e-9))
+
+    def watermarks(self, capacity: int) -> Tuple[int, int]:
+        """The ``(high_blocks, low_blocks)`` thresholds for *capacity*.
+
+        Both are computed with ceil semantics so a fractional watermark
+        never rounds a small window's budget away: every slot the
+        fraction touches is usable.
+        """
+        return (
+            self._blocks_ceil(self.high, capacity),
+            self._blocks_ceil(self.low, capacity),
+        )
+
     def plan(self, view: PlacementView) -> List[TierMove]:
-        high_blocks = int(self.high * view.fast_capacity)
-        low_blocks = int(self.low * view.fast_capacity)
+        high_blocks, low_blocks = self.watermarks(view.fast_capacity)
         used = view.fast_used
         moves: List[TierMove] = []
         if used > high_blocks:

@@ -22,6 +22,8 @@ class TestParser:
             ["incast", "--scale", "0.01"],
             ["overhead"],
             ["ablations", "--which", "drops"],
+            ["linkguard", "--packets", "200", "--check"],
+            ["linkguard", "--corrupt-rate", "0.002", "--seed", "7"],
             ["all", "--quick"],
         ],
     )

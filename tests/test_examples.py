@@ -18,6 +18,7 @@ CASES = [
     ("cluster_scaleout.py", []),
     ("server_failure.py", []),
     ("chaos_recovery.py", []),
+    ("link_protection.py", []),
     ("sequencer_netchain.py", []),
     ("persistent_congestion_ecn.py", ["--duration-ms", "1.5"]),
 ]

@@ -205,3 +205,36 @@ class TestAblations:
         assert best_effort.count_error_rate > 0.0
         assert reliable.count_error_rate == 0.0
         assert reliable.retransmissions > 0
+
+
+class TestLinkGuard:
+    """Reduced-scale link-protection sweep: the §14 decision surface."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments.linkguard import run_linkguard_sweep
+
+        return run_linkguard_sweep(packets=600)
+
+    def test_acceptance_bar_holds_at_reduced_scale(self, rows):
+        from repro.experiments.linkguard import assert_linkguard
+
+        assert_linkguard(rows)
+
+    def test_guard_on_loses_nothing_guard_off_does(self, rows):
+        by = {(r.workload, r.variant): r for r in rows}
+        assert by[("lookup", "guard-on")].lost == 0
+        assert by[("lookup", "guard-off")].lost > 0
+        assert by[("lookup", "guard-on")].masked_losses > 0
+
+    def test_breaker_is_blind_to_scattered_corruption(self, rows):
+        for row in rows:
+            if row.variant == "breaker-only":
+                assert row.breaker_opens == 0
+                # ...and therefore pays exactly the guard-off price.
+
+    def test_pktbuf_drain_pays_for_transport_recovery(self, rows):
+        by = {(r.workload, r.variant): r for r in rows}
+        lossless = by[("pktbuf", "lossless")].goodput_per_ms
+        assert by[("pktbuf", "guard-on")].goodput_per_ms >= 0.95 * lossless
+        assert by[("pktbuf", "guard-off")].goodput_per_ms < 0.95 * lossless

@@ -217,6 +217,40 @@ class TestWatermarkPlacement:
         with pytest.raises(ValueError):
             WatermarkPlacement(high=1.5)
 
+    # -- ceil-semantics regression: truncation used to shrink small
+    # -- windows (high=0.9 of 3 slots gave 2, losing a third of the
+    # -- budget) and binary-float artifacts inflated exact products
+    # -- (0.9 * 10 = 9.000...002 must not ceil to 10).
+
+    def test_watermarks_ceil_on_tiny_window(self):
+        policy = WatermarkPlacement(seed=0, high=0.9, low=0.6)
+        assert policy.watermarks(3) == (3, 2)
+
+    def test_watermarks_ceil_on_small_window(self):
+        policy = WatermarkPlacement(seed=0, high=0.9, low=0.6)
+        # 0.9 * 8 = 7.2 -> 8?  No: ceil(7.2) = 8 slots usable.
+        assert policy.watermarks(8) == (8, 5)
+
+    def test_watermarks_exact_products_do_not_inflate(self):
+        policy = WatermarkPlacement(seed=0, high=0.9, low=0.6)
+        # 0.9 * 64 = 57.6 -> 58; 0.6 * 64 = 38.4 -> 39.
+        assert policy.watermarks(64) == (58, 39)
+        # Exact binary-float products stay exact: 0.5 * 64 = 32, and the
+        # IEEE artifact 0.9 * 10 = 9.000000000000002 rounds to 9, not 10.
+        assert WatermarkPlacement(seed=0, high=0.5, low=0.5).watermarks(64) \
+            == (32, 32)
+        assert WatermarkPlacement(seed=0, high=0.9, low=0.9).watermarks(10) \
+            == (9, 9)
+
+    def test_tiny_window_uses_every_slot(self):
+        # The user-visible regression: with 3 fast slots and high=0.9,
+        # truncation capped promotion at 2 slots; ceil admits all 3.
+        policy = WatermarkPlacement(seed=0, high=0.9, low=0.6)
+        blocks = [_stat(i, accesses=10 - i) for i in range(4)]
+        moves = policy.plan(_view(blocks, capacity=3))
+        assert [m.block for m in moves] == [0, 1, 2]
+        assert all(m.reason == "promote" for m in moves)
+
     def test_unknown_placement_policy_rejected(self):
         with pytest.raises(ValueError):
             make_placement_policy("random")
