@@ -139,6 +139,19 @@ from .apps.programs import (
 )
 from .switches.pipeline import PipelineContext, SwitchProgram
 
+# -- L4 load balancer (DESIGN.md §15) ----------------------------------------
+from .apps.l4lb import (
+    BACKEND_ACTIVE,
+    BACKEND_DEAD,
+    BACKEND_DRAINING,
+    BACKEND_RETIRED,
+    Backend,
+    L4LbController,
+    L4LbProgram,
+    L4LbStats,
+    MigrationRecord,
+)
+
 # -- packets ----------------------------------------------------------------
 from .net.packet import Packet, PacketPool
 
@@ -298,6 +311,16 @@ __all__ = [
     "RemoteLookupProgram",
     "StaticL2Program",
     "SwitchProgram",
+    # L4 load balancer
+    "BACKEND_ACTIVE",
+    "BACKEND_DEAD",
+    "BACKEND_DRAINING",
+    "BACKEND_RETIRED",
+    "Backend",
+    "L4LbController",
+    "L4LbProgram",
+    "L4LbStats",
+    "MigrationRecord",
     # packets
     "Packet",
     "PacketPool",

@@ -6,6 +6,17 @@ from .kv_cache import (
     KvStorageServer,
     RemoteValueStore,
 )
+from .l4lb import (
+    BACKEND_ACTIVE,
+    BACKEND_DEAD,
+    BACKEND_DRAINING,
+    BACKEND_RETIRED,
+    Backend,
+    L4LbController,
+    L4LbProgram,
+    L4LbStats,
+    MigrationRecord,
+)
 from .sequencer import SEQUENCER_PORT, SeqHeader, SequencerProgram
 from .programs import (
     CountingProgram,
@@ -29,6 +40,11 @@ from .telemetry import (
 from .virtual_switch import VipMapping, VirtualSwitchProgram
 
 __all__ = [
+    "BACKEND_ACTIVE",
+    "BACKEND_DEAD",
+    "BACKEND_DRAINING",
+    "BACKEND_RETIRED",
+    "Backend",
     "CountMinSketch",
     "CountSketch",
     "CountingProgram",
@@ -37,7 +53,11 @@ __all__ = [
     "KvCacheProgram",
     "KvHeader",
     "KvStorageServer",
+    "L4LbController",
+    "L4LbProgram",
+    "L4LbStats",
     "LocalCounterBackend",
+    "MigrationRecord",
     "RemoteBufferProgram",
     "RemoteCounterBackend",
     "RemoteLookupProgram",

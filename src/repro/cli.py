@@ -29,6 +29,13 @@ from .experiments.fig3a import format_fig3a, run_fig3a
 from .experiments.fig3b import format_fig3b, run_fig3b
 from .experiments.incast import format_incast, run_incast_comparison
 from .experiments.kv_cache import format_kv_cache, run_kv_cache_comparison
+from .experiments.l4lb import (
+    L4LB_CORRUPT_RATE,
+    L4LB_SEED,
+    assert_l4lb,
+    format_l4lb,
+    run_l4lb_soak,
+)
 from .experiments.linkguard import (
     assert_linkguard,
     format_linkguard,
@@ -178,6 +185,21 @@ def _cmd_linkguard(args: argparse.Namespace) -> str:
     return format_linkguard(rows)
 
 
+def _cmd_l4lb(args: argparse.Namespace) -> str:
+    result = run_l4lb_soak(
+        connections=args.connections,
+        packets=args.packets,
+        new_connections=args.new_connections,
+        new_packets=args.new_packets,
+        backends=args.backends,
+        corrupt_rate=args.corrupt_rate,
+        seed=args.seed,
+    )
+    if args.check:
+        assert_l4lb(result)
+    return format_l4lb(result)
+
+
 def _cmd_kv_cache(args: argparse.Namespace) -> str:
     return format_kv_cache(
         run_kv_cache_comparison(keys=args.keys, queries=args.queries)
@@ -234,6 +256,14 @@ def _cmd_all(args: argparse.Namespace) -> str:
             run_kv_cache_comparison(
                 keys=2000 if quick else 10_000,
                 queries=1500 if quick else 5000,
+            )
+        ),
+        format_l4lb(
+            run_l4lb_soak(
+                connections=2000 if quick else 100_000,
+                packets=4000 if quick else 20_000,
+                new_connections=200 if quick else 2000,
+                new_packets=600 if quick else 3000,
             )
         ),
     ]
@@ -319,6 +349,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sequencer", help="§6 in-network sequencer throughput")
     p.add_argument("--packets", type=int, default=3000)
     p.set_defaults(fn=_cmd_sequencer)
+
+    p = sub.add_parser(
+        "l4lb",
+        help=(
+            "L4 load balancer soak: live backend migration under a hard "
+            "kill, a graceful drain, and link corruption at once"
+        ),
+    )
+    p.add_argument(
+        "--connections", type=int, default=100_000,
+        help="established connections pre-installed in the remote table",
+    )
+    p.add_argument("--packets", type=int, default=20_000)
+    p.add_argument("--new-connections", type=int, default=2000)
+    p.add_argument("--new-packets", type=int, default=3000)
+    p.add_argument("--backends", type=int, default=4)
+    p.add_argument(
+        "--corrupt-rate",
+        type=float,
+        default=L4LB_CORRUPT_RATE,
+        help="per-frame corruption probability on the table-server link",
+    )
+    p.add_argument(
+        "--seed", type=int, default=L4LB_SEED,
+        help="pins traffic, corruption, probe jitter, and placement",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "assert the acceptance bar: zero lost counter updates, zero "
+            "affinity breaks, kill absorbed, drain graceful"
+        ),
+    )
+    p.set_defaults(fn=_cmd_l4lb)
 
     p = sub.add_parser("kv-cache", help="§6 in-network KV cache study")
     p.add_argument("--keys", type=int, default=10_000)

@@ -17,6 +17,7 @@ touches their packets.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -160,8 +161,26 @@ class MemoryPool:
         member.drain_holds += 1
 
     def release_drain(self, member: PoolMember) -> None:
-        member.drain_holds -= 1
+        """Release one drain hold; channels close when the last one drops.
+
+        An unbalanced release (no hold outstanding) is a listener bug: it
+        used to drive the count negative, so the *next*
+        :meth:`hold_for_drain` was silently ineffective and a leave could
+        close channels out from under a listener still draining.  The
+        count now clamps at zero and the extra release warns instead of
+        closing anything.
+        """
         if member.drain_holds <= 0:
+            member.drain_holds = 0
+            warnings.warn(
+                f"release_drain({member.name!r}) without a matching "
+                "hold_for_drain; ignoring the extra release",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+        member.drain_holds -= 1
+        if member.drain_holds == 0:
             self.close_member_channels(member)
 
     def fail_server(self, name: str) -> None:

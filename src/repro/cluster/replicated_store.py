@@ -228,6 +228,17 @@ class ReplicatedStateStore:
         any current replica that is behind — the member that took over a
         dead arc starts at zero and catches up here.  Returns the number
         of counters repaired.
+
+        Failover reconciles run under live load, so the repair must not
+        race the target's own un-landed deltas: a delta that already
+        landed on the replica supplying the max but is still in flight to
+        the repair target would be counted twice — once inside the
+        absolute value written here, once when the Fetch-and-Add lands on
+        top of it.  The target therefore catches up only to
+        ``authoritative - unlanded``; its in-flight and accumulated
+        deltas lift it the rest of the way, and any remaining shortfall
+        is closed by the next quiesced reconcile (drain handoffs always
+        run one).
         """
         repaired = 0
         for index in sorted(self._touched):
@@ -236,10 +247,11 @@ class ReplicatedStateStore:
                 continue
             for store in self.replica_stores(index):
                 held = store.read_counter_via_control_plane(index)
-                if held < authoritative:
+                target = authoritative - store.unlanded_value(index)
+                if held < target:
                     store.channel.region.write(
                         store.counter_address(index),
-                        authoritative.to_bytes(ATOMIC_OPERAND_BYTES, "big"),
+                        target.to_bytes(ATOMIC_OPERAND_BYTES, "big"),
                     )
                     repaired += 1
         self.cluster_stats.counters_repaired += repaired

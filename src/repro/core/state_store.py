@@ -699,6 +699,25 @@ class RemoteStateStore:
         """Locally accumulated value not yet issued."""
         return sum(self._accumulators.values())
 
+    def unlanded_value(self, index: int) -> int:
+        """Value bound for counter *index* not yet landed in remote DRAM.
+
+        Switch-side accumulation, in-flight Fetch-and-Adds, and suspended
+        ops awaiting their post-recovery reconcile.  A repair that writes
+        an absolute value over this counter must subtract it: these deltas
+        will still be applied on top of whatever the repair writes.
+        """
+        total = self._accumulators.get(index, 0)
+        for ops in self._inflight.values():
+            for op_index, value, _address in ops.values():
+                if op_index == index:
+                    total += value
+        for op_index, value in self._suspended_ops:
+            if op_index == index:
+                total += value
+        total += self._reconcile_value.get(index, 0)
+        return total
+
     def read_counter_via_control_plane(self, index: int) -> int:
         """Operator-side counter read (estimation algorithms run here, §4)."""
         if self._tiering is not None:

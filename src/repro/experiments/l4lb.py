@@ -1,0 +1,710 @@
+"""L4LB soak: live backend migration under kills, drains, and corruption.
+
+The ROADMAP's production scenario, run end to end: a switch whose
+million-connection L4 load-balancer table lives in remote memory
+(:mod:`repro.apps.l4lb`), soaked with open-loop Zipf traffic while the
+harness throws every failure PRs 4-9 built machinery for — at once:
+
+* **10⁻³ link corruption** on the switch↔table-server link from t=0,
+  masked by a §14 :class:`~repro.linkguard.LinkGuard` (a corrupted
+  bounced lookup has no end-to-end retry; the guard is what saves it).
+* **A hard backend kill** mid-run: the victim's link goes dark, the §11
+  breaker trips, its replica store degrades, reconnect probes fail, and
+  the controller escalates to pool failover — connections re-point, K=2
+  replication keeps every counter update.
+* **A graceful drain** of a *different* backend afterwards: journaled
+  re-install of its connections, then quiesce + handoff reconcile under
+  a drain hold before the member leaves.  Draining the co-replica of an
+  earlier kill is the hard case: counter value whose only surviving
+  copy sits on the leaver must be handed off before its channels close.
+* **New connections** admitted after the churn, which must land only on
+  backends that are still active.
+
+The acceptance bar (:func:`assert_l4lb`): **zero lost counter updates**
+— every per-backend connection/byte counter read back from the
+replicated store equals the program's independent expected-counts
+ledger, exactly — and **zero affinity breaks** — every packet delivered
+to a backend was sanctioned by that connection's journal (original
+placement or a controller-ordered migration target); new connections may
+remap, established ones never silently do.
+
+One seed pins the whole timeline: the Zipf schedules, the corruption
+pattern, the breaker's probe jitter, and the rendezvous placement all
+derive from ``seed``, so ``benchmarks/BENCH_l4lb.json`` regenerates
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.reporting import format_table
+from ..apps.l4lb import (
+    BACKEND_ACTIVE,
+    Backend,
+    L4LbController,
+    L4LbProgram,
+)
+from ..cluster import MemoryPool, ReplicatedStateStore
+from ..core.lookup_table import LookupTableConfig, RemoteLookupTable
+from ..core.state_store import StateStoreConfig
+from ..faults import Corrupt, FaultPlan
+from ..hosts.server import MemoryServer
+from ..linkguard import LinkGuard
+from ..net.addresses import Ipv4Address
+from ..net.headers import Ipv4Header, UdpHeader
+from ..obs import Observability
+from ..policies import BreakerPolicy
+from ..rdma.packets import integrity_protected
+from ..resilience import CircuitBreakerConfig
+from ..sim.rng import SeedSequence
+from ..sim.units import SEC, usec
+from ..switches.hashing import FiveTuple
+from ..workloads.zipf import OpenLoopZipfTraffic
+from .scaleout import RING_SEED, RING_VNODES
+from .topology import build_testbed
+
+#: Root seed: one number pins every schedule in the soak.
+L4LB_SEED = 42
+
+#: Per-frame corruption probability on the table-server link.
+L4LB_CORRUPT_RATE = 1e-3
+
+#: The virtual IP clients address; backends live behind it.
+L4LB_VIP = "10.9.9.9"
+
+
+class _VipZipfTraffic(OpenLoopZipfTraffic):
+    """Open-loop Zipf arrivals addressed to the VIP.
+
+    The flow population (rank → port pair) is the stock Zipf mapping;
+    only the destination IP changes, so every packet takes the
+    load-balanced path and its connection identity is the VIP 5-tuple.
+    """
+
+    def __init__(self, vip: Ipv4Address, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.vip = vip
+
+    def packet_for(self, rank: int):
+        packet = super().packet_for(rank)
+        packet.require(Ipv4Header).dst = self.vip
+        return packet
+
+    def connection(self, rank: int) -> FiveTuple:
+        """The connection 5-tuple rank maps to (dst = the VIP)."""
+        key = self.flow_key(rank)
+        return FiveTuple(
+            src_ip=self.src.eth.ip.value,
+            dst_ip=self.vip.value,
+            protocol=17,
+            src_port=key.src_port,
+            dst_port=key.dst_port,
+        )
+
+
+class _BackendSink:
+    """Records deliveries at one backend, keyed by connection 5-tuple."""
+
+    def __init__(
+        self,
+        program: L4LbProgram,
+        backend: Backend,
+        server: MemoryServer,
+        deliveries: Dict[FiveTuple, Dict[str, int]],
+    ) -> None:
+        self.program = program
+        self.backend = backend
+        self.deliveries = deliveries
+        self.packets = 0
+        # RoCE is steered to the RNIC before packet_handlers run, so the
+        # sink sees exactly the load-balanced data traffic.
+        server.packet_handlers.append(self._handle)
+
+    def _handle(self, packet, interface) -> None:
+        if packet.find(Ipv4Header) is None or packet.find(UdpHeader) is None:
+            return
+        self.packets += 1
+        flow = self.program.connection_key(packet)
+        per_backend = self.deliveries.setdefault(flow, {})
+        per_backend[self.backend.name] = per_backend.get(self.backend.name, 0) + 1
+
+
+@dataclass
+class L4LbSoakResult:
+    """Everything the audit measured in one combined-failure soak."""
+
+    seed: int
+    connections: int
+    new_connections: int
+    backends: int
+    corrupt_rate: float
+    table_entries: int
+    packets_offered: int
+    duration_ms: float
+    # -- data-plane accounting --
+    vip_packets: int
+    forwarded_packets: int
+    delivered_total: int
+    forwarded_by_backend: Dict[str, int]
+    delivered_by_backend: Dict[str, int]
+    lookups_lost: int
+    no_backend_drops: int
+    # -- counter audit (the zero-lost-updates bar) --
+    expected: Dict[int, int]
+    recovered: Dict[int, int]
+    # -- affinity audit --
+    affinity_breaks: int
+    flows_delivered: int
+    connections_migrated: int
+    unsanctioned_migrations: int
+    # -- the kill --
+    killed_backend: str
+    kill_at_ns: float
+    kill_detected: bool
+    kill_detect_ns: Optional[float]
+    breaker_opens: int
+    reconnect_attempts: int
+    kill_escalations: int
+    members_failed: int
+    victim_wire_loss: int
+    other_wire_loss: int
+    # -- the drain --
+    drained_backend: str
+    drain_at_ns: float
+    drains_completed: int
+    drains_forced: int
+    counters_repaired: int
+    reconciliations: int
+    # -- the corrupting link --
+    corrupted_frames: int
+    masked_losses: int
+    guard_resent: int
+    # -- post-churn admissions --
+    new_placements: Dict[str, int] = field(default_factory=dict)
+    new_on_inactive: int = 0
+
+    @property
+    def expected_total(self) -> int:
+        return sum(self.expected.values())
+
+    @property
+    def recovered_total(self) -> int:
+        return sum(self.recovered.values())
+
+    @property
+    def lost_updates(self) -> int:
+        return self.expected_total - self.recovered_total
+
+    @property
+    def all_counters_exact(self) -> bool:
+        return self.expected == self.recovered
+
+    @property
+    def kill_detect_latency_ns(self) -> Optional[float]:
+        if self.kill_detect_ns is None:
+            return None
+        return self.kill_detect_ns - self.kill_at_ns
+
+
+def _breaker_config() -> CircuitBreakerConfig:
+    """Same pacing the chaos/linkguard scenarios tune for 50 µs watchdogs."""
+    return CircuitBreakerConfig(
+        fail_threshold=3,
+        close_threshold=1,
+        open_timeout_ns=usec(100),
+        probe_timeout_ns=usec(60),
+        probe_jitter_ns=usec(10),
+        backoff=2.0,
+    )
+
+
+def table_entries_for(connections: int) -> int:
+    """Cuckoo sizing: next power of two past ``connections / 0.75``.
+
+    (2,4)-cuckoo insertion is reliable far beyond 75 % load; the
+    headroom keeps the install phase kick-free at any seed.
+    """
+    need = max(1 << 12, int(connections / 0.75))
+    return 1 << max(12, math.ceil(math.log2(need)))
+
+
+def run_l4lb_soak(
+    connections: int = 100_000,
+    packets: int = 20_000,
+    new_connections: int = 2_000,
+    new_packets: int = 3_000,
+    backends: int = 4,
+    alpha: float = 1.0,
+    rate_pps: float = 2e6,
+    corrupt_rate: float = L4LB_CORRUPT_RATE,
+    cache_entries: int = 4096,
+    kill_backend: str = "backend1",
+    drain_backend: str = "backend2",
+    seed: int = L4LB_SEED,
+) -> L4LbSoakResult:
+    """One combined-failure soak; see the module docstring for the plot.
+
+    Timeline: wave 1 of established traffic starts at t=0 with the
+    corruption already running; the kill lands mid-wave (under full
+    load — detection is the self-healing stack's problem); after wave 1
+    ends the drain runs in the inter-wave gap (a graceful drain is a
+    *scheduled* handoff — the controller picks a calm moment, which is
+    precisely what distinguishes it from the kill); wave 2 plus the
+    new-connection wave then run to completion.
+    """
+    if backends < 3:
+        raise ValueError("need >= 3 backends to kill one and drain another")
+    if kill_backend == drain_backend:
+        raise ValueError("kill and drain targets must differ")
+    seeds = SeedSequence(seed)
+    vip = Ipv4Address(L4LB_VIP)
+
+    # ICRC on: with a corrupting link in the plan, receivers must be able
+    # to *detect* damage (corruption is detected loss, the guard's premise).
+    with integrity_protected():
+        # Topology: clients on ports 0..1; memory server 0 hosts the
+        # connection table behind the corrupting (guarded) link; servers
+        # 1..B are the backends — dual-role: traffic sinks *and* pool
+        # members hosting the K=2 counter replicas.
+        tb = build_testbed(n_hosts=2, n_memory_servers=backends + 1, seed=seed)
+        table_server, table_port = tb.memory_servers[0], tb.server_ports[0]
+        backend_servers = tb.memory_servers[1:]
+        backend_ports = tb.server_ports[1:]
+
+        # fail_after deliberately exceeds the breaker's fail_threshold:
+        # kill detection is the §11 stack's job here (trip → degrade →
+        # probes → escalation), not the bare health monitor's strike
+        # counter — the monitor sees the same timeout events (it is
+        # chained first) and would otherwise race the breaker to the
+        # down verdict.
+        pool = MemoryPool(
+            tb.controller, vnodes=RING_VNODES, seed=RING_SEED, fail_after=8
+        )
+        for i, (server, port) in enumerate(zip(backend_servers, backend_ports)):
+            pool.add_server(server, port, name=f"backend{i}")
+
+        program = L4LbProgram(vip)
+        for host, port in zip(tb.hosts, tb.host_ports):
+            program.install(host.eth.mac, port)
+        tb.switch.bind_program(program)
+
+        table_config = LookupTableConfig(
+            entries=table_entries_for(connections + new_connections),
+            packet_slot_bytes=256,
+            cache_entries=cache_entries,
+            layout="cuckoo",
+            hash_seed=seed,
+            policy="lru",
+        )
+        channel = tb.controller.open_channel(
+            table_server,
+            table_port,
+            table_config.region_bytes,
+            name="l4lb:connections",
+        )
+        table = RemoteLookupTable(tb.switch, channel, config=table_config)
+        program.use_connection_table(table)
+
+        store = ReplicatedStateStore(
+            tb.switch,
+            pool,
+            config=StateStoreConfig(
+                counters=2 * backends, reliable=True, retry_timeout_ns=50_000.0
+            ),
+            replication=2,
+        )
+        program.use_counter_store(store)
+
+        controller = L4LbController(program, table, store, pool, seed=seed)
+        for i, (server, port) in enumerate(zip(backend_servers, backend_ports)):
+            controller.add_backend(
+                f"backend{i}",
+                server.eth.ip,
+                server.eth.mac,
+                port,
+                member=pool.member(f"backend{i}"),
+            )
+        healers = controller.enable_self_healing(
+            policy_for=lambda member: BreakerPolicy(
+                config=_breaker_config(),
+                rng=seeds.stream(f"breaker[{member.name}]"),
+            ),
+            give_up_probes=2,
+        )
+
+        # The corrupting table link, guarded from t=0.
+        guard = LinkGuard(tb.server_links[0])
+        wire = None
+        if corrupt_rate > 0:
+            plan = FaultPlan(seed=seed)
+            wire = plan.on_link(tb.server_links[0], name="table-link")
+            plan.at(0.0, wire, Corrupt(corrupt_rate))
+            plan.install(tb.sim)
+
+        deliveries: Dict[FiveTuple, Dict[str, int]] = {}
+        for backend, server in zip(controller.backends.values(), backend_servers):
+            _BackendSink(program, backend, server, deliveries)
+
+        # -- traffic and the failure schedule -----------------------------------
+        client, client2 = tb.hosts
+        w1_count = max(1, int(packets * 0.6))
+        w2_count = max(1, packets - w1_count)
+        wave1 = _VipZipfTraffic(
+            vip, tb.sim, client, client2, flows=connections, alpha=alpha,
+            rate_pps=rate_pps, count=w1_count, seed=seeds.derive_seed("wave1"),
+        )
+        wave2 = _VipZipfTraffic(
+            vip, tb.sim, client, client2, flows=connections, alpha=alpha,
+            rate_pps=rate_pps, count=w2_count, seed=seeds.derive_seed("wave2"),
+        )
+        wave_new = _VipZipfTraffic(
+            vip, tb.sim, client2, client, flows=new_connections, alpha=alpha,
+            rate_pps=rate_pps, count=new_packets, seed=seeds.derive_seed("new"),
+        )
+
+        # Pre-admit the whole established population: this is the
+        # ~``connections``-entry table the paper's external memory holds.
+        for rank in range(connections):
+            controller.admit(wave1.connection(rank))
+
+        w1_duration = w1_count * (SEC / rate_pps)
+        kill_at_ns = 0.5 * w1_duration
+        drain_at_ns = w1_duration + usec(800)  # after the kill settles
+        resume_at_ns = drain_at_ns + usec(500)
+
+        victim_member = pool.member(kill_backend)
+        victim_link = tb.server_links[
+            1 + backend_servers.index(victim_member.server)
+        ]
+
+        def crash() -> None:
+            victim_link.loss_probability = 1.0
+
+        tb.sim.schedule_at(kill_at_ns, crash)
+        tb.sim.schedule_at(drain_at_ns, controller.drain_backend, drain_backend)
+
+        new_flows: List[FiveTuple] = []
+
+        def admit_new() -> None:
+            for rank in range(new_connections):
+                flow = wave_new.connection(rank)
+                if controller.admit(flow) is not None:
+                    new_flows.append(flow)
+
+        tb.sim.schedule_at(resume_at_ns, admit_new)
+        wave1.start(0.0)
+        wave2.start(resume_at_ns)
+        wave_new.start(resume_at_ns)
+        tb.sim.run()
+
+        # Quiesce: push every switch-side accumulation out, let it land.
+        for _ in range(64):
+            if store.pending_value == 0 and store.outstanding == 0:
+                break
+            store.flush_all()
+            tb.sim.run()
+
+        # -- audits --------------------------------------------------------------
+        expected = dict(program.expected_counts)
+        recovered = {
+            index: store.read_counter(index) for index in sorted(expected)
+        }
+
+    affinity_breaks = 0
+    for flow, per_backend in deliveries.items():
+        allowed = set(controller.assignment_history(flow))
+        for name, count in per_backend.items():
+            if name not in allowed:
+                affinity_breaks += count
+    # Every sanctioned migration originates at the kill or drain target
+    # (a kill-migrated flow that hops again does so because its *new*
+    # home is the drain target); any other source is the controller
+    # moving a connection off a healthy backend.
+    churned = {kill_backend, drain_backend}
+    unsanctioned = sum(
+        1 for record in controller.journal if record.source not in churned
+    )
+
+    delivered_by_backend: Dict[str, int] = {}
+    for per_backend in deliveries.values():
+        for name, count in per_backend.items():
+            delivered_by_backend[name] = delivered_by_backend.get(name, 0) + count
+    forwarded_by_backend = dict(program.forwarded_by_backend)
+    victim_wire_loss = forwarded_by_backend.get(
+        kill_backend, 0
+    ) - delivered_by_backend.get(kill_backend, 0)
+    other_wire_loss = sum(
+        forwarded_by_backend.get(name, 0) - delivered_by_backend.get(name, 0)
+        for name in controller.backends
+        if name != kill_backend
+    )
+
+    new_placements: Dict[str, int] = {}
+    new_on_inactive = 0
+    active_names = {
+        b.name for b in controller.backends.values() if b.state == BACKEND_ACTIVE
+    }
+    for flow in new_flows:
+        name = controller.placement.get(flow, "?")
+        new_placements[name] = new_placements.get(name, 0) + 1
+        if name not in active_names:
+            new_on_inactive += 1
+
+    kill_times = [r.time_ns for r in controller.journal if r.reason == "kill"]
+    victim_healer = healers[kill_backend]
+    guard_counts = guard.counts
+
+    result = L4LbSoakResult(
+        seed=seed,
+        connections=connections,
+        new_connections=len(new_flows),
+        backends=backends,
+        corrupt_rate=corrupt_rate,
+        table_entries=table_config.entries,
+        packets_offered=w1_count + w2_count + new_packets,
+        duration_ms=tb.sim.now / 1e6,
+        vip_packets=program.vip_packets,
+        forwarded_packets=program.forwarded_packets,
+        delivered_total=sum(delivered_by_backend.values()),
+        forwarded_by_backend=forwarded_by_backend,
+        delivered_by_backend=delivered_by_backend,
+        lookups_lost=table.stats.lookups_lost,
+        no_backend_drops=program.no_backend_drops,
+        expected=expected,
+        recovered=recovered,
+        affinity_breaks=affinity_breaks,
+        flows_delivered=len(deliveries),
+        connections_migrated=controller.stats.connections_migrated,
+        unsanctioned_migrations=unsanctioned,
+        killed_backend=kill_backend,
+        kill_at_ns=kill_at_ns,
+        kill_detected=controller.stats.kills_detected >= 1
+        and not pool.health.is_alive(kill_backend),
+        kill_detect_ns=min(kill_times) if kill_times else None,
+        breaker_opens=victim_healer.breaker.opens,
+        reconnect_attempts=victim_healer.reconnects,
+        kill_escalations=controller.stats.kill_escalations,
+        members_failed=store.cluster_stats.members_failed,
+        victim_wire_loss=victim_wire_loss,
+        other_wire_loss=other_wire_loss,
+        drained_backend=drain_backend,
+        drain_at_ns=drain_at_ns,
+        drains_completed=controller.stats.drains_completed,
+        drains_forced=controller.stats.drains_forced,
+        counters_repaired=store.cluster_stats.counters_repaired,
+        reconciliations=store.cluster_stats.reconciliations,
+        corrupted_frames=(
+            wire.effects.get("corrupted", 0) if wire is not None else 0
+        ),
+        masked_losses=guard_counts.get("masked_losses", 0),
+        guard_resent=guard_counts.get("resent", 0),
+        new_placements=new_placements,
+        new_on_inactive=new_on_inactive,
+    )
+    publish_l4lb_metrics(Observability.adopt().registry, result)
+    return result
+
+
+def format_l4lb(result: L4LbSoakResult) -> str:
+    rows = []
+    for slot in range(result.backends):
+        name = f"backend{slot}"
+        rows.append(
+            [
+                name,
+                "killed" if name == result.killed_backend
+                else "drained" if name == result.drained_backend
+                else "active",
+                result.recovered.get(2 * slot, 0),
+                result.recovered.get(2 * slot + 1, 0),
+                result.forwarded_by_backend.get(name, 0),
+                result.delivered_by_backend.get(name, 0),
+                result.forwarded_by_backend.get(name, 0)
+                - result.delivered_by_backend.get(name, 0),
+                result.new_placements.get(name, 0),
+            ]
+        )
+    table = format_table(
+        [
+            "backend",
+            "fate",
+            "conns",
+            "bytes",
+            "forwarded",
+            "delivered",
+            "wire lost",
+            "new conns",
+        ],
+        rows,
+        title=(
+            f"L4LB soak — {result.connections:,} connections, "
+            f"kill + drain + {result.corrupt_rate:g} corruption "
+            f"(seed={result.seed})"
+        ),
+    )
+    detect = result.kill_detect_latency_ns
+    summary = [
+        table,
+        "",
+        f"counter audit : {len(result.expected)} counters, "
+        f"expected {result.expected_total:,} == recovered "
+        f"{result.recovered_total:,} -> lost {result.lost_updates}",
+        f"affinity      : {result.flows_delivered:,} connections delivered, "
+        f"{result.connections_migrated:,} migrated, "
+        f"{result.affinity_breaks} breaks",
+        f"kill          : {result.killed_backend} at "
+        f"{result.kill_at_ns / 1e6:.2f} ms, detected in "
+        + (f"{detect / 1e3:.0f} us" if detect is not None else "-")
+        + f" (breaker opens={result.breaker_opens}, "
+        f"reconnects={result.reconnect_attempts}, "
+        f"escalations={result.kill_escalations})",
+        f"drain         : {result.drained_backend} at "
+        f"{result.drain_at_ns / 1e6:.2f} ms, completed="
+        f"{result.drains_completed} forced={result.drains_forced} "
+        f"(repaired {result.counters_repaired} counters over "
+        f"{result.reconciliations} reconciliations)",
+        f"link          : {result.corrupted_frames} frames corrupted, "
+        f"{result.masked_losses} masked by the guard, "
+        f"{result.lookups_lost} lookups lost",
+    ]
+    return "\n".join(summary)
+
+
+def l4lb_perf_record(result: L4LbSoakResult, label: str = "l4lb"):
+    """The soak in ``repro-perf-record/v1`` shape (committed as BENCH)."""
+    from ..analysis.profiling import PerfRecord, make_report
+
+    record = PerfRecord(
+        label="l4lb_soak",
+        wall_s=result.duration_ms / 1e3,
+        events=result.packets_offered,
+    )
+    record.extra.update(
+        {
+            "seed": result.seed,
+            "connections": result.connections,
+            "new_connections": result.new_connections,
+            "backends": result.backends,
+            "table_entries": result.table_entries,
+            "corrupt_rate": result.corrupt_rate,
+            "packets_offered": result.packets_offered,
+            "vip_packets": result.vip_packets,
+            "forwarded_packets": result.forwarded_packets,
+            "delivered_total": result.delivered_total,
+            "expected_total": result.expected_total,
+            "recovered_total": result.recovered_total,
+            "lost_updates": result.lost_updates,
+            "all_counters_exact": result.all_counters_exact,
+            "affinity_breaks": result.affinity_breaks,
+            "flows_delivered": result.flows_delivered,
+            "connections_migrated": result.connections_migrated,
+            "unsanctioned_migrations": result.unsanctioned_migrations,
+            "killed_backend": result.killed_backend,
+            "kill_detect_latency_ns": result.kill_detect_latency_ns,
+            "breaker_opens": result.breaker_opens,
+            "reconnect_attempts": result.reconnect_attempts,
+            "kill_escalations": result.kill_escalations,
+            "members_failed": result.members_failed,
+            "victim_wire_loss": result.victim_wire_loss,
+            "other_wire_loss": result.other_wire_loss,
+            "drained_backend": result.drained_backend,
+            "drains_completed": result.drains_completed,
+            "drains_forced": result.drains_forced,
+            "counters_repaired": result.counters_repaired,
+            "corrupted_frames": result.corrupted_frames,
+            "masked_losses": result.masked_losses,
+            "lookups_lost": result.lookups_lost,
+            "new_on_inactive": result.new_on_inactive,
+            "duration_ms": result.duration_ms,
+        }
+    )
+    return make_report(label, {record.label: record})
+
+
+def publish_l4lb_metrics(registry, result: L4LbSoakResult) -> None:
+    """Surface the acceptance numbers under ``l4lb.soak`` so the CI
+    metrics artifact can re-assert the bar without re-parsing stdout."""
+    scope = registry.unique_scope("l4lb.soak")
+    scope.counter("lost_updates").inc(result.lost_updates)
+    scope.counter("affinity_breaks").inc(result.affinity_breaks)
+    scope.counter("delivered").inc(result.delivered_total)
+    scope.counter("connections_migrated").inc(result.connections_migrated)
+    scope.counter("masked_losses").inc(result.masked_losses)
+    scope.counter("corrupted_frames").inc(result.corrupted_frames)
+    scope.counter("breaker_opens").inc(result.breaker_opens)
+    scope.counter("kills_detected").inc(1 if result.kill_detected else 0)
+    scope.counter("drains_completed").inc(result.drains_completed)
+    scope.counter("new_on_inactive").inc(result.new_on_inactive)
+    scope.gauge("expected_total").set(result.expected_total)
+    scope.gauge("recovered_total").set(result.recovered_total)
+    scope.gauge("connections").set(result.connections)
+    scope.gauge("counters_exact").set(1 if result.all_counters_exact else 0)
+
+
+def assert_l4lb(result: L4LbSoakResult) -> None:
+    """The acceptance bar for the combined-failure soak.
+
+    Zero lost counter updates (exact, per index), zero affinity breaks
+    for established connections, the kill actually absorbed by the §11
+    stack, the drain actually graceful, and the corruption actually
+    masked — a soak where a failure leg silently failed to fire would
+    pass a weaker bar while testing nothing.
+    """
+    if result.lost_updates != 0 or not result.all_counters_exact:
+        diff = {
+            index: (result.expected.get(index), result.recovered.get(index))
+            for index in set(result.expected) | set(result.recovered)
+            if result.expected.get(index) != result.recovered.get(index)
+        }
+        raise AssertionError(
+            f"lost {result.lost_updates} counter updates; divergent: {diff}"
+        )
+    if result.affinity_breaks != 0:
+        raise AssertionError(
+            f"{result.affinity_breaks} packets broke connection affinity"
+        )
+    if result.unsanctioned_migrations != 0:
+        raise AssertionError(
+            f"{result.unsanctioned_migrations} connections migrated off "
+            "healthy backends"
+        )
+    if not result.kill_detected:
+        raise AssertionError("the killed backend was never declared dead")
+    if result.breaker_opens < 1:
+        raise AssertionError("the victim's breaker never tripped")
+    if result.reconnect_attempts < 1:
+        raise AssertionError("the self-healing stack never tried a reconnect")
+    if result.kill_escalations < 1 or result.members_failed != 1:
+        raise AssertionError(
+            f"kill escalation path untraveled (escalations="
+            f"{result.kill_escalations}, failed={result.members_failed})"
+        )
+    if result.drains_completed != 1:
+        raise AssertionError("the graceful drain never completed")
+    if result.drains_forced != 0:
+        raise AssertionError("the drain hit its deadline instead of quiescing")
+    if result.corrupted_frames == 0 or result.masked_losses == 0:
+        raise AssertionError(
+            f"the corruption leg never fired (corrupted="
+            f"{result.corrupted_frames}, masked={result.masked_losses})"
+        )
+    if result.lookups_lost != 0:
+        raise AssertionError(
+            f"{result.lookups_lost} lookups lost despite the guard"
+        )
+    if result.other_wire_loss != 0:
+        raise AssertionError(
+            f"{result.other_wire_loss} packets lost on healthy backend links"
+        )
+    if result.new_on_inactive != 0:
+        raise AssertionError(
+            f"{result.new_on_inactive} new connections placed on "
+            "killed/drained backends"
+        )
+    if result.delivered_total == 0 or result.flows_delivered == 0:
+        raise AssertionError("no traffic was delivered — the soak ran empty")
+    if result.connections_migrated == 0:
+        raise AssertionError("no connections migrated — kill/drain were no-ops")

@@ -136,6 +136,9 @@ class CircuitBreaker:
         # previous episode is a no-op when it fires.
         self._epoch = 0
         self._opened_at: Optional[float] = None
+        # Terminal stand-down: a disarmed breaker ignores every event and
+        # never transitions again (see :meth:`disarm`).
+        self._disarmed = False
         obs = sim.obs
         self.metrics = obs.registry.unique_scope(
             f"resilience.breaker[{name}]"
@@ -185,6 +188,29 @@ class CircuitBreaker:
     def probe_failures(self) -> int:
         return self._m_probe_failures.value
 
+    @property
+    def disarmed(self) -> bool:
+        return self._disarmed
+
+    def disarm(self) -> None:
+        """Stand this breaker down permanently.
+
+        An open breaker on a channel that will *never* come back — its
+        member was declared dead and failed out of the pool — would
+        otherwise probe forever: every half-open probe times out, re-trips
+        with backoff, and schedules the next attempt.  ``disarm`` is the
+        terminal exit: pending timers are cancelled (epoch bump), future
+        events are ignored, and the degraded-time ledger is closed out.
+        The state is left as-is for post-mortem inspection.
+        """
+        if self._disarmed:
+            return
+        self._disarmed = True
+        self._epoch += 1  # cancels any scheduled half-open / probe check
+        if self._opened_at is not None:
+            self._m_degraded_ns.inc(int(self.sim.now - self._opened_at))
+            self._opened_at = None
+
     # -- wiring -----------------------------------------------------------------
 
     def watch(self, rocegen: RoceRequestGenerator) -> None:
@@ -213,6 +239,8 @@ class CircuitBreaker:
 
     def record(self, event: str) -> None:
         """Feed one health event into the state machine."""
+        if self._disarmed:
+            return  # late responses on a stood-down channel are noise
         if event == "nak":
             return  # a NAK alone is evidence of *loss*, not of a dead path
         if event == "progress":
@@ -247,7 +275,7 @@ class CircuitBreaker:
 
     def trip(self) -> None:
         """Open the breaker now (fired internally; public for operators)."""
-        if self.state == BREAKER_OPEN:
+        if self._disarmed or self.state == BREAKER_OPEN:
             return
         was = self.state
         if was == BREAKER_HALF_OPEN:
@@ -276,7 +304,10 @@ class CircuitBreaker:
         self.sim.schedule(delay, self._go_half_open, self._epoch)
 
     def _go_half_open(self, epoch: int) -> None:
-        if epoch != self._epoch or self.state != BREAKER_OPEN:
+        # The disarmed check matters when disarm() ran inside this very
+        # trip's on_open callbacks: the trip then still scheduled this
+        # timer with a fresh epoch, so the epoch guard alone won't stop it.
+        if epoch != self._epoch or self.state != BREAKER_OPEN or self._disarmed:
             return
         self.state = BREAKER_HALF_OPEN
         self._successes = 0

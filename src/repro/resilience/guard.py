@@ -180,7 +180,22 @@ class SelfHealingChannel:
         self.primitive.recover(self.channel)
 
     def _on_teardown(self) -> None:
+        # Channel gone for good: silence the callbacks *and* the breaker —
+        # an open breaker left armed on a torn-down channel would probe
+        # (and back off, and probe again) forever.
+        self.stop()
+
+    def stop(self) -> None:
+        """Stand the guard down permanently (terminal).
+
+        Callbacks stop firing and the breaker is disarmed: pending
+        half-open timers are cancelled and no future event can reopen the
+        episode.  Call when the guarded channel's member has been failed
+        out of the pool (there is nothing left to heal), or rely on
+        channel teardown to do it on graceful closes.
+        """
         self._active = False
+        self.breaker.disarm()
 
     @property
     def reconnects(self) -> int:

@@ -24,6 +24,8 @@ class TestParser:
             ["ablations", "--which", "drops"],
             ["linkguard", "--packets", "200", "--check"],
             ["linkguard", "--corrupt-rate", "0.002", "--seed", "7"],
+            ["l4lb", "--connections", "1000", "--check"],
+            ["l4lb", "--backends", "3", "--corrupt-rate", "0.003"],
             ["all", "--quick"],
         ],
     )
@@ -60,3 +62,21 @@ class TestExecution:
         assert main(["ablations", "--which", "batching"]) == 0
         out = capsys.readouterr().out
         assert "Fetch-and-Add" in out
+
+    def test_l4lb_tiny_passes_check(self, capsys):
+        assert main(
+            [
+                "l4lb",
+                "--connections", "1500",
+                "--packets", "3000",
+                "--new-connections", "150",
+                "--new-packets", "400",
+                "--backends", "3",
+                "--corrupt-rate", "0.003",
+                "--check",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "counter audit" in out
+        assert "lost 0" in out
+        assert "0 breaks" in out

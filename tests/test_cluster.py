@@ -265,6 +265,24 @@ class TestMemoryPool:
         pool.release_drain(member)
         assert channel not in tb.controller.channels
 
+    def test_unbalanced_release_drain_warns_and_clamps(self):
+        # Regression: an extra release used to drive drain_holds negative,
+        # making the *next* hold_for_drain silently ineffective — a leave
+        # could then close channels under a listener still draining.
+        tb, pool = build_pool(servers=2)
+        member = pool.member("memserver0")
+        with pytest.warns(RuntimeWarning, match="without a matching"):
+            pool.release_drain(member)
+        assert member.drain_holds == 0
+        # A later, balanced hold still defers the close — and the
+        # matching release still performs it.
+        channel = pool.open_channel(member, kib(4))
+        pool.hold_for_drain(member)
+        pool.remove_server("memserver0")
+        assert channel in tb.controller.channels
+        pool.release_drain(member)
+        assert channel not in tb.controller.channels
+
     def test_placement_skips_dead_members(self):
         tb, pool = build_pool(servers=3)
         pool.fail_server("memserver1")
@@ -484,6 +502,35 @@ class TestReplicatedStateStore:
         repaired = store.reconcile()
         assert repaired == 1
         assert behind.read_counter_via_control_plane(9) == 10
+
+    def test_reconcile_does_not_double_count_unlanded_deltas(self):
+        # Regression: a failover reconcile runs under live load.  A delta
+        # that already landed on the replica supplying the authoritative
+        # max but is still un-landed on the repair target used to be
+        # counted twice — once inside the absolute value written by the
+        # repair, once when the target's own Fetch-and-Add landed on top.
+        tb, pool, store = build_replicated_store()
+        store.update(5, 7)
+        store.flush_all()
+        tb.sim.run()
+        ahead, behind = store.replica_stores(5)
+        # The delta lands on one replica...
+        ahead.update(5, 3)
+        ahead.flush_all()
+        tb.sim.run()
+        # ...and sits switch-side (un-landed) on the other.
+        behind.update(5, 3)
+        assert behind.unlanded_value(5) == 3
+        store.reconcile()
+        # The repair must NOT lift the target to the full max: its own
+        # delta is still coming.
+        assert behind.read_counter_via_control_plane(5) == 7
+        behind.flush_all()
+        tb.sim.run()
+        assert behind.read_counter_via_control_plane(5) == 10
+        assert store.read_counter(5) == 10
+        # A quiesced reconcile afterwards finds nothing left to repair.
+        assert store.reconcile() == 0
 
     def test_replica_death_loses_nothing(self):
         tb, pool, store = build_replicated_store()

@@ -19,6 +19,7 @@ CASES = [
     ("server_failure.py", []),
     ("chaos_recovery.py", []),
     ("link_protection.py", []),
+    ("l4_migration.py", ["--connections", "1500", "--packets", "3000"]),
     ("sequencer_netchain.py", []),
     ("persistent_congestion_ecn.py", ["--duration-ms", "1.5"]),
 ]

@@ -156,6 +156,48 @@ class TestCircuitBreaker:
         assert breaker.metrics.counter("events_while_open").value == 1
         assert breaker.opens == 1
 
+    def test_disarm_cancels_pending_half_open(self, sim):
+        breaker = self.make(sim)
+        probes = []
+        breaker.on_half_open.append(lambda b: probes.append(sim.now))
+        for _ in range(3):
+            breaker.record("strike")
+        assert breaker.is_open
+        breaker.disarm()
+        sim.run()
+        # The scheduled half-open never fires and the state is frozen
+        # for post-mortem inspection.
+        assert probes == []
+        assert breaker.is_open
+        assert breaker.disarmed
+        assert breaker.degraded_ns == 0  # tripped and disarmed at t=0
+
+    def test_disarmed_breaker_ignores_every_event(self, sim):
+        breaker = self.make(sim)
+        breaker.disarm()
+        for _ in range(10):
+            breaker.record("retries_exhausted")
+        breaker.trip()
+        assert breaker.is_closed
+        assert breaker.opens == 0
+        breaker.disarm()  # idempotent
+
+    def test_disarm_inside_on_open_ends_the_episode(self, sim):
+        # The escalation path disarms from within the trip's own on_open
+        # callbacks (on_open -> fail_server -> member leave -> stop).
+        # The trip schedules its half-open timer *after* the callbacks
+        # run, under a fresh epoch — the disarm must still cancel it.
+        breaker = self.make(sim)
+        breaker.on_open.append(lambda b: b.disarm())
+        probes = []
+        breaker.on_half_open.append(lambda b: probes.append(sim.now))
+        for _ in range(3):
+            breaker.record("strike")
+        sim.run()
+        assert probes == []
+        assert breaker.disarmed
+        assert breaker.probe_failures == 0
+
     def test_probe_jitter_is_seeded(self, sim):
         def episode(seed, name):
             breaker = CircuitBreaker(
